@@ -1,0 +1,23 @@
+//! # borndist-baselines
+//!
+//! The comparison points the paper measures itself against (§1, §3.1):
+//!
+//! * [`bls`] — plain single-signer BLS (shortest signatures, no
+//!   threshold);
+//! * [`boldyreva`] — Boldyreva's threshold BLS (PKC 2003): the same
+//!   non-interactive flow as the paper's scheme but only **statically**
+//!   secure, with half-size shares and signatures;
+//! * [`additive`] — a Rabin/Almansa–Damgård–Nielsen-style additive
+//!   `(n,n)` sharing with per-piece `(t,n)` backups, instantiated over the
+//!   same pairing group: exhibits the **Θ(n) per-player storage** and the
+//!   **extra reconstruction round under faults** that the paper
+//!   eliminates;
+//! * [`rsa_sizes`] — the RSA size constants quoted by the paper for the
+//!   E1 size table (RSA schemes are not re-implemented; see DESIGN.md).
+
+pub mod additive;
+pub mod bls;
+pub mod boldyreva;
+pub mod rsa_sizes;
+
+pub use bls::{bls_verify, BlsKeyPair, BlsSignature};

@@ -1,0 +1,64 @@
+//! Size constants for the RSA-based threshold signatures the paper
+//! compares against (§3.1). These schemes are not re-implemented —
+//! DESIGN.md documents the substitution — but their *sizes* appear in
+//! the E1 size table exactly as the paper quotes them.
+
+/// Bits per signature for Shoup's practical threshold RSA (Eurocrypt
+/// 2000) at the 128-bit security level, as quoted by the paper (§3.1):
+/// a 3072-bit RSA value plus a 4-bit index disambiguation — "3076 bits".
+pub const SHOUP_RSA_SIGNATURE_BITS: usize = 3076;
+
+/// Bits per signature for Almansa–Damgård–Nielsen threshold RSA
+/// (Eurocrypt 2006), same modulus size (the paper groups it with \[67\]).
+pub const ADN_RSA_SIGNATURE_BITS: usize = 3076;
+
+/// RSA modulus bits at the 128-bit level (NIST equivalence).
+pub const RSA_MODULUS_BITS: usize = 3072;
+
+/// Bits per *share* for Shoup's scheme: one exponent share modulo
+/// `m = p'q'` (modulus-sized).
+pub const SHOUP_RSA_SHARE_BITS: usize = 3072;
+
+/// Bits per share for the ADN scheme at `n` players: the own additive
+/// share plus `n` polynomial backup shares (the Θ(n) storage the paper
+/// criticizes).
+pub fn adn_rsa_share_bits(n: usize) -> usize {
+    RSA_MODULUS_BITS * (n + 1)
+}
+
+/// Paper-quoted §3 signature size on BN254 ("512 bits").
+pub const PAPER_BN254_SIGNATURE_BITS: usize = 512;
+
+/// Our measured §3 signature size on BLS12-381 (2 × 48-byte compressed).
+pub const BLS12_381_SIGNATURE_BITS: usize = 2 * 48 * 8;
+
+/// Paper-quoted §4 standard-model signature size on BN254 ("2048 bits").
+pub const PAPER_BN254_STD_SIGNATURE_BITS: usize = 2048;
+
+/// Our §4 size on BLS12-381: 4 G1 + 2 G2 compressed.
+pub const BLS12_381_STD_SIGNATURE_BITS: usize = (4 * 48 + 2 * 96) * 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_paper_claims() {
+        // RSA signatures are ~6x larger than the paper's scheme on BN254
+        // and ~4x larger than ours on BLS12-381.
+        assert_eq!(SHOUP_RSA_SIGNATURE_BITS / PAPER_BN254_SIGNATURE_BITS, 6);
+        assert!(SHOUP_RSA_SIGNATURE_BITS > 4 * BLS12_381_SIGNATURE_BITS / 8 * 8 / 2);
+        // ADN shares grow linearly; ours are constant.
+        assert_eq!(adn_rsa_share_bits(16), 17 * 3072);
+        assert!(adn_rsa_share_bits(64) > 64 * PAPER_BN254_SIGNATURE_BITS);
+        // Standard model costs 4x the ROM scheme in signature size.
+        assert_eq!(
+            PAPER_BN254_STD_SIGNATURE_BITS / PAPER_BN254_SIGNATURE_BITS,
+            4
+        );
+        assert_eq!(
+            BLS12_381_STD_SIGNATURE_BITS / BLS12_381_SIGNATURE_BITS,
+            4
+        );
+    }
+}

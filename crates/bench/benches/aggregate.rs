@@ -1,0 +1,61 @@
+//! E7 — Appendix G aggregation: verifying one aggregate of `ℓ`
+//! signatures vs `ℓ` individual verifications, and the aggregate's
+//! constant size.
+
+use borndist_bench::bench_rng;
+use borndist_core::aggregate::{AggPublicKey, AggregateScheme};
+use borndist_core::ro::PartialSignature;
+use borndist_core::Signature;
+use borndist_shamir::ThresholdParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn setup(l: usize) -> (
+    AggregateScheme,
+    Vec<(AggPublicKey, Vec<u8>, Signature)>,
+) {
+    let scheme = AggregateScheme::new(b"bench-agg");
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let mut rng = bench_rng();
+    let inputs = (0..l)
+        .map(|i| {
+            let (pk, km) = scheme.dealer_keygen(params, &mut rng);
+            let msg = format!("certificate {}", i).into_bytes();
+            let partials: Vec<PartialSignature> = (1..=2u32)
+                .map(|j| scheme.share_sign(&pk, &km.shares[&j], &msg))
+                .collect();
+            let sig = scheme.combine(&params, &partials).unwrap();
+            (pk, msg, sig)
+        })
+        .collect();
+    (scheme, inputs)
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_aggregate");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(5));
+    for l in [1usize, 2, 4, 8, 16] {
+        let (scheme, inputs) = setup(l);
+        let agg = scheme.aggregate(&inputs).unwrap();
+        let statements: Vec<(AggPublicKey, Vec<u8>)> = inputs
+            .iter()
+            .map(|(pk, m, _)| (pk.clone(), m.clone()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("aggregate_verify", l), &l, |b, _| {
+            b.iter(|| scheme.aggregate_verify(&statements, &agg))
+        });
+        g.bench_with_input(BenchmarkId::new("individual_verify", l), &l, |b, _| {
+            b.iter(|| {
+                inputs
+                    .iter()
+                    .all(|(pk, m, s)| scheme.verify(pk, m, s))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

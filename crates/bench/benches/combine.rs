@@ -1,0 +1,27 @@
+//! E6 — `Combine` cost vs threshold `t`: Lagrange interpolation in the
+//! exponent over `t+1` partial signatures (Pippenger MSM inside).
+
+use borndist_bench::{ro_setup, MESSAGE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_combine_vs_t");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for t in [1usize, 2, 4, 8, 16, 32] {
+        let n = 2 * t + 1;
+        let (scheme, km) = ro_setup(t, n);
+        let partials: Vec<_> = (1..=(t as u32 + 1))
+            .map(|i| scheme.share_sign(&km.shares[&i], MESSAGE))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| scheme.combine(&km.params, &partials).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combine);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5 — `Dist-Keygen` cost vs `n`: wall-clock time plus (printed once)
+//! round/message/byte metrics of the simulated network — the paper's
+//! "single communication round when all players follow the protocol".
+
+use borndist_dkg::{run_dkg, standard_config};
+use borndist_shamir::ThresholdParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn bench_dkg(c: &mut Criterion) {
+    // Print the communication metrics table once (captured in bench logs).
+    println!("\nE5 DKG communication (honest run, width 2):");
+    println!(
+        "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14}",
+        "n", "t", "rounds", "active", "messages", "bytes"
+    );
+    for n in [4usize, 8, 16] {
+        let t = (n - 1) / 2;
+        let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"bench-dkg", false);
+        let (_, m) = run_dkg(&cfg, &BTreeMap::new(), 1).unwrap();
+        println!(
+            "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14}",
+            n, t, m.total_rounds, m.active_rounds, m.messages, m.bytes
+        );
+    }
+
+    let mut g = c.benchmark_group("e5_dkg_vs_n");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(5));
+    for n in [4usize, 8, 16] {
+        let t = (n - 1) / 2;
+        let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"bench-dkg", false);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_dkg(&cfg, &BTreeMap::new(), seed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dkg);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E10 — substrate microbenchmarks: the primitive costs every scheme
+//! decomposes into (context for E2/E8).
+
+use borndist_bench::bench_rng;
+use borndist_pairing::{
+    hash_to_g1, hash_to_g2, msm, multi_pairing, pairing, Fr, G1Affine, G1Projective, G2Affine,
+    G2Projective,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let p = G1Projective::random(&mut rng).to_affine();
+    let q = G2Projective::random(&mut rng).to_affine();
+
+    let mut g = c.benchmark_group("pairing");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("single", |b| b.iter(|| pairing(&p, &q)));
+    for k in [2usize, 4, 8] {
+        let pairs: Vec<(G1Affine, G2Affine)> = (0..k)
+            .map(|_| {
+                (
+                    G1Projective::random(&mut rng).to_affine(),
+                    G2Projective::random(&mut rng).to_affine(),
+                )
+            })
+            .collect();
+        g.bench_function(format!("product_of_{}", k), |b| {
+            b.iter(|| {
+                let refs: Vec<(&G1Affine, &G2Affine)> =
+                    pairs.iter().map(|(x, y)| (x, y)).collect();
+                multi_pairing(&refs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_ops(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let s = Fr::random(&mut rng);
+
+    let mut g = c.benchmark_group("group_ops");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("g1_scalar_mul", |b| {
+        b.iter(|| G1Projective::generator() * s)
+    });
+    g.bench_function("g2_scalar_mul", |b| {
+        b.iter(|| G2Projective::generator() * s)
+    });
+    g.bench_function("hash_to_g1", |b| b.iter(|| hash_to_g1(b"bench", b"message")));
+    g.bench_function("hash_to_g2", |b| b.iter(|| hash_to_g2(b"bench", b"message")));
+    // The signing inner loop: a 2-base multi-exponentiation.
+    let bases: Vec<G1Affine> = (0..2)
+        .map(|_| G1Projective::random(&mut rng).to_affine())
+        .collect();
+    let scalars: Vec<Fr> = (0..2).map(|_| Fr::random(&mut rng)).collect();
+    g.bench_function("msm_2", |b| b.iter(|| msm(&bases, &scalars)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pairing, bench_group_ops);
+criterion_main!(benches);

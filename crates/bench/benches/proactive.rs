@@ -1,0 +1,44 @@
+//! E9 — proactive refresh (§3.3): cost of one epoch (zero-resharing DKG
+//! + share/VK updates) and of recovering one lost share.
+
+use borndist_bench::bench_rng;
+use borndist_core::proactive::ProactiveDeployment;
+use borndist_core::ro::ThresholdScheme;
+use borndist_shamir::ThresholdParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn deployment(t: usize, n: usize) -> ProactiveDeployment {
+    let scheme = ThresholdScheme::new(b"bench-proactive");
+    let mut rng = bench_rng();
+    let km = scheme.dealer_keygen(ThresholdParams::new(t, n).unwrap(), &mut rng);
+    ProactiveDeployment::new(scheme, km)
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_proactive");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(5));
+    for n in [4usize, 8] {
+        let t = (n - 1) / 2;
+        g.bench_with_input(BenchmarkId::new("advance_epoch", n), &n, |b, _| {
+            let mut dep = deployment(t, n);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                dep.advance_epoch(&BTreeMap::new(), seed).unwrap()
+            })
+        });
+    }
+    let dep = deployment(2, 5);
+    g.bench_function("recover_share_t2", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| dep.recover_share(&[1, 2, 4], 3, &mut rng).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E8 — cross-scheme comparison: §3 ROM vs Appendix F DLIN vs §4
+//! standard-model vs Boldyreva, on identical (t, n) = (2, 5) committees.
+//! The paper's qualitative claim: the standard-model scheme is "somewhat
+//! less efficient … but remains sufficiently efficient"; DLIN costs ~1.5x
+//! the ROM scheme (3 vs 2 signature elements, 2 vs 1 equations).
+
+use borndist_baselines::boldyreva;
+use borndist_bench::{bench_rng, MESSAGE};
+use borndist_core::ro::ThresholdScheme;
+use borndist_core::standard::StandardScheme;
+use borndist_core::DlinScheme;
+use borndist_shamir::ThresholdParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const T: usize = 2;
+const N: usize = 5;
+
+fn bench_all_schemes(c: &mut Criterion) {
+    let params = ThresholdParams::new(T, N).unwrap();
+    let mut rng = bench_rng();
+
+    let ro = ThresholdScheme::new(b"bench-cmp");
+    let ro_km = ro.dealer_keygen(params, &mut rng);
+    let ro_partials: Vec<_> = (1..=(T as u32 + 1))
+        .map(|i| ro.share_sign(&ro_km.shares[&i], MESSAGE))
+        .collect();
+    let ro_sig = ro.combine(&params, &ro_partials).unwrap();
+
+    let dlin = DlinScheme::new(b"bench-cmp");
+    let dlin_km = dlin.dealer_keygen(params, &mut rng);
+    let dlin_partials: Vec<_> = (1..=(T as u32 + 1))
+        .map(|i| dlin.share_sign(&dlin_km.shares[&i], MESSAGE))
+        .collect();
+    let dlin_sig = dlin.combine(&params, &dlin_partials).unwrap();
+
+    let std_s = StandardScheme::new(b"bench-cmp");
+    let std_km = std_s.dealer_keygen(params, &mut rng);
+    let std_partials: Vec<_> = (1..=(T as u32 + 1))
+        .map(|i| std_s.share_sign(&std_km.shares[&i], MESSAGE, &mut rng))
+        .collect();
+    let std_sig = std_s
+        .combine(&params, MESSAGE, &std_partials, &mut rng)
+        .unwrap();
+
+    let bold_km = boldyreva::dealer_keygen(params, &mut rng);
+    let bold_partials: Vec<_> = (1..=(T as u32 + 1))
+        .map(|i| boldyreva::share_sign(&bold_km.shares[&i], MESSAGE))
+        .collect();
+    let bold_sig = boldyreva::combine(&params, &bold_partials).unwrap();
+
+    let mut g = c.benchmark_group("e8_schemes");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    g.bench_function("ro/share_sign", |b| {
+        b.iter(|| ro.share_sign(&ro_km.shares[&1], MESSAGE))
+    });
+    g.bench_function("ro/verify", |b| {
+        b.iter(|| ro.verify(&ro_km.public_key, MESSAGE, &ro_sig))
+    });
+
+    g.bench_function("dlin/share_sign", |b| {
+        b.iter(|| dlin.share_sign(&dlin_km.shares[&1], MESSAGE))
+    });
+    g.bench_function("dlin/verify", |b| {
+        b.iter(|| dlin.verify(&dlin_km.public_key, MESSAGE, &dlin_sig))
+    });
+
+    g.bench_function("std/share_sign", |b| {
+        let mut r = bench_rng();
+        b.iter(|| std_s.share_sign(&std_km.shares[&1], MESSAGE, &mut r))
+    });
+    g.bench_function("std/verify", |b| {
+        b.iter(|| std_s.verify(&std_km.public_key, MESSAGE, &std_sig))
+    });
+    g.bench_function("std/combine", |b| {
+        let mut r = bench_rng();
+        b.iter(|| std_s.combine(&params, MESSAGE, &std_partials, &mut r).unwrap())
+    });
+
+    g.bench_function("boldyreva/share_sign", |b| {
+        b.iter(|| boldyreva::share_sign(&bold_km.shares[&1], MESSAGE))
+    });
+    g.bench_function("boldyreva/verify", |b| {
+        b.iter(|| boldyreva::verify(&bold_km.public_key, MESSAGE, &bold_sig))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_all_schemes);
+criterion_main!(benches);

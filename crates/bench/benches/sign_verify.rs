@@ -1,0 +1,70 @@
+//! E2 — the §3.1 cost claims: signing is "two multi-exponentiations with
+//! two base elements and two hash-on-curve operations"; verification is
+//! "a product of four pairings". Measured against the Boldyreva and plain
+//! BLS baselines.
+
+use borndist_baselines::{bls, boldyreva};
+use borndist_bench::{bench_rng, ro_setup, MESSAGE};
+use borndist_shamir::ThresholdParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_ro_scheme(c: &mut Criterion) {
+    let (scheme, km) = ro_setup(5, 16);
+    let partial = scheme.share_sign(&km.shares[&1], MESSAGE);
+    let partials: Vec<_> = (1..=6u32)
+        .map(|i| scheme.share_sign(&km.shares[&i], MESSAGE))
+        .collect();
+    let sig = scheme.combine(&km.params, &partials).unwrap();
+
+    let mut g = c.benchmark_group("e2_ro_scheme");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    g.bench_function("share_sign", |b| {
+        b.iter(|| scheme.share_sign(&km.shares[&1], MESSAGE))
+    });
+    g.bench_function("share_verify", |b| {
+        b.iter(|| scheme.share_verify(&km.verification_keys[&1], MESSAGE, &partial))
+    });
+    g.bench_function("combine_t5", |b| b.iter(|| scheme.combine(&km.params, &partials)));
+    g.bench_function("verify", |b| {
+        b.iter(|| scheme.verify(&km.public_key, MESSAGE, &sig))
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let params = ThresholdParams::new(5, 16).unwrap();
+    let km = boldyreva::dealer_keygen(params, &mut rng);
+    let partial = boldyreva::share_sign(&km.shares[&1], MESSAGE);
+    let partials: Vec<_> = (1..=6u32)
+        .map(|i| boldyreva::share_sign(&km.shares[&i], MESSAGE))
+        .collect();
+    let sig = boldyreva::combine(&params, &partials).unwrap();
+    let bls_kp = bls::BlsKeyPair::generate(&mut rng);
+    let bls_sig = bls_kp.sign(MESSAGE);
+
+    let mut g = c.benchmark_group("e2_baselines");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    g.bench_function("boldyreva_share_sign", |b| {
+        b.iter(|| boldyreva::share_sign(&km.shares[&1], MESSAGE))
+    });
+    g.bench_function("boldyreva_share_verify", |b| {
+        b.iter(|| boldyreva::share_verify(&km.verification_keys[&1], MESSAGE, &partial))
+    });
+    g.bench_function("boldyreva_verify", |b| {
+        b.iter(|| boldyreva::verify(&km.public_key, MESSAGE, &sig))
+    });
+    g.bench_function("bls_sign", |b| b.iter(|| bls_kp.sign(MESSAGE)));
+    g.bench_function("bls_verify", |b| {
+        b.iter(|| bls::bls_verify(&bls_kp.pk, MESSAGE, &bls_sig))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ro_scheme, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Wire messages of the distributed key generation protocol.
+
+use borndist_net::WireSize;
+use borndist_pairing::{G1Affine, Fr};
+use borndist_shamir::{PedersenCommitment, PedersenShare};
+use serde::{Deserialize, Serialize};
+
+/// The extra broadcast of the Appendix G (aggregate-capable) variant:
+/// a one-time LHSPS signature `(Z_{i0}, R_{i0})` on the public vector
+/// `(g, h)` under the dealer's constant-coefficient key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateWitness {
+    /// `Z_{i0} = g^{-a_{i10}} h^{-a_{i20}}`.
+    pub z0: G1Affine,
+    /// `R_{i0} = g^{-b_{i10}} h^{-b_{i20}}`.
+    pub r0: G1Affine,
+}
+
+/// A DKG message. One `enum` covers all four rounds; the honest state
+/// machine never sends a variant outside its round, but Byzantine players
+/// may (and receivers must tolerate it).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum DkgMessage {
+    /// Round 0 broadcast: the dealer's Pedersen commitments, one
+    /// commitment vector per parallel sharing (`width` of them), plus the
+    /// optional aggregate witness.
+    Commitments {
+        /// `Ŵ_{ikℓ}` for each sharing `k`.
+        commitments: Vec<PedersenCommitment>,
+        /// Appendix G extension, when enabled.
+        aggregate: Option<AggregateWitness>,
+    },
+    /// Round 0 private message: the dealer's shares for the recipient,
+    /// one `(A_k(j), B_k(j))` pair per parallel sharing.
+    Shares {
+        /// Shares in sharing order (all carry the recipient's index).
+        shares: Vec<PedersenShare>,
+    },
+    /// Round 1 broadcast: complaints against dealers whose share failed
+    /// equation (1) or never arrived.
+    Complaints {
+        /// Accused dealer ids.
+        against: Vec<u32>,
+    },
+    /// Round 2 broadcast: a dealer's answer to complaints — the correct
+    /// shares of every complainer, publicly revealed.
+    ComplaintAnswers {
+        /// `(complainer, shares-for-complainer)` pairs.
+        answers: Vec<(u32, Vec<PedersenShare>)>,
+    },
+}
+
+const G1_BYTES: usize = 48;
+const G2_BYTES: usize = 96;
+const FR_BYTES: usize = core::mem::size_of::<Fr>() / core::mem::size_of::<u64>() * 8;
+
+fn share_size() -> usize {
+    4 + 2 * FR_BYTES
+}
+
+fn commitment_size(c: &PedersenCommitment) -> usize {
+    4 + G2_BYTES * c.len()
+}
+
+impl WireSize for DkgMessage {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            DkgMessage::Commitments {
+                commitments,
+                aggregate,
+            } => {
+                4 + commitments.iter().map(commitment_size).sum::<usize>()
+                    + 1
+                    + aggregate.map_or(0, |_| 2 * G1_BYTES)
+            }
+            DkgMessage::Shares { shares } => 4 + shares.len() * share_size(),
+            DkgMessage::Complaints { against } => 4 + 4 * against.len(),
+            DkgMessage::ComplaintAnswers { answers } => {
+                4 + answers
+                    .iter()
+                    .map(|(_, shares)| 4 + 4 + shares.len() * share_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borndist_pairing::G2Projective;
+    use borndist_shamir::{PedersenBases, PedersenSharing};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wire_sizes_reflect_payload() {
+        let mut r = StdRng::seed_from_u64(1);
+        let bases = PedersenBases {
+            g_z: G2Projective::random(&mut r).to_affine(),
+            g_r: G2Projective::random(&mut r).to_affine(),
+        };
+        let sharing = PedersenSharing::deal_random(&bases, 3, &mut r);
+        let msg = DkgMessage::Commitments {
+            commitments: vec![sharing.commitment.clone(), sharing.commitment.clone()],
+            aggregate: None,
+        };
+        // 1 tag + 4 vec len + 2 * (4 + 4*96) + 1 option tag
+        assert_eq!(msg.wire_size(), 1 + 4 + 2 * (4 + 4 * 96) + 1);
+
+        let shares = DkgMessage::Shares {
+            shares: vec![sharing.share_for(1), sharing.share_for(1)],
+        };
+        assert_eq!(shares.wire_size(), 1 + 4 + 2 * (4 + 64));
+
+        let complaints = DkgMessage::Complaints { against: vec![1, 2] };
+        assert_eq!(complaints.wire_size(), 1 + 4 + 8);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = StdRng::seed_from_u64(2);
+        let bases = PedersenBases {
+            g_z: G2Projective::random(&mut r).to_affine(),
+            g_r: G2Projective::random(&mut r).to_affine(),
+        };
+        let sharing = PedersenSharing::deal_random(&bases, 2, &mut r);
+        let msg = DkgMessage::ComplaintAnswers {
+            answers: vec![(3, vec![sharing.share_for(3)])],
+        };
+        let enc = serde_json::to_string(&msg).unwrap();
+        let dec: DkgMessage = serde_json::from_str(&enc).unwrap();
+        match dec {
+            DkgMessage::ComplaintAnswers { answers } => {
+                assert_eq!(answers.len(), 1);
+                assert_eq!(answers[0].0, 3);
+                assert_eq!(answers[0].1[0], sharing.share_for(3));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Randomized-adversary agreement tests: under arbitrary combinations of
+//! the supported Byzantine behaviors (bounded by t corruptions), all
+//! honest players must (a) finish, (b) agree on the qualified set and
+//! public key, and (c) hold shares consistent with the public
+//! commitments.
+
+use borndist_dkg::{run_dkg, standard_config, Behavior, DkgOutput};
+use borndist_pairing::Fr;
+use borndist_shamir::{interpolate_at, PedersenShare, ThresholdParams};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy for one Byzantine behavior targeting players in `1..=n`.
+fn behavior_strategy(n: u32) -> impl Strategy<Value = Behavior> {
+    (
+        proptest::collection::btree_set(1..=n, 0..2),
+        proptest::collection::btree_set(1..=n, 0..2),
+        proptest::collection::vec(1..=n, 0..2),
+        any::<bool>(),
+        proptest::option::of(0usize..3),
+    )
+        .prop_map(
+            |(corrupt, withhold, false_complaints, refuse, crash)| Behavior {
+                corrupt_shares_to: corrupt,
+                withhold_shares_from: withhold,
+                false_complaints,
+                refuse_answers: refuse,
+                crash_at_round: crash,
+                ..Default::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn agreement_under_random_bounded_adversaries(
+        seed in any::<u64>(),
+        bad1 in behavior_strategy(7),
+        bad2 in behavior_strategy(7),
+        slot1 in 1u32..=7,
+        slot2 in 1u32..=7,
+    ) {
+        let t = 2usize;
+        let n = 7usize;
+        let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"prop-dkg", false);
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert(slot1, bad1);
+        if slot2 != slot1 {
+            behaviors.insert(slot2, bad2);
+        }
+
+        let (outputs, _) = run_dkg(&cfg, &behaviors, seed).expect("simulation completes");
+
+        // Honest players (those without hooks) must all succeed and agree.
+        let honest: Vec<&DkgOutput> = outputs
+            .iter()
+            .filter(|(id, _)| behaviors.get(id).map_or(true, Behavior::is_honest))
+            .map(|(_, o)| o.as_ref().expect("honest players finish"))
+            .collect();
+        prop_assert!(honest.len() >= n - 2);
+
+        let reference = honest[0];
+        for o in &honest {
+            prop_assert_eq!(&o.qualified, &reference.qualified);
+            prop_assert_eq!(o.public_key_coordinates(), reference.public_key_coordinates());
+            prop_assert_eq!(&o.combined_commitments, &reference.combined_commitments);
+        }
+
+        // Enough dealers survive: at least the honest ones.
+        prop_assert!(reference.qualified.len() >= n - 2);
+        prop_assert!(reference.qualified.len() >= t + 1);
+
+        // Every honest player's share opens the combined commitments.
+        for o in &honest {
+            for (k, (a, b)) in o.share.iter().enumerate() {
+                let s = PedersenShare { index: o.id, a: *a, b: *b };
+                prop_assert!(o.combined_commitments[k].verify_share(&cfg.bases, &s));
+            }
+        }
+
+        // The honest players' shares interpolate consistently: any two
+        // (t+1)-subsets of honest shares give the same secret.
+        if honest.len() >= t + 2 {
+            let pts: Vec<(u32, Fr)> = honest.iter().map(|o| (o.id, o.share[0].0)).collect();
+            let s1 = interpolate_at(&pts[..t + 1], Fr::zero()).unwrap();
+            let s2 = interpolate_at(&pts[1..t + 2], Fr::zero()).unwrap();
+            prop_assert_eq!(s1, s2);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the Groth–Sahai layer: completeness over
+//! random statements, binding-CRS extraction, randomization invariance,
+//! and the linear-combination law used by the §4 `Combine`.
+
+use borndist_grothsahai::{combine_weighted, prove, randomize, verify, Commitment, Crs};
+use borndist_pairing::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a satisfied statement with `k` committed variables:
+/// `Π e(X_i, Â_i) · e(g^v, Q̂) = 1`, returning witnesses, constants and
+/// the extra pair.
+fn statement(
+    rng: &mut StdRng,
+    k: usize,
+) -> (
+    Vec<G1Projective>,
+    Vec<G2Affine>,
+    ((G1Affine, G1Affine), G2Affine),
+) {
+    let g = G1Projective::generator();
+    let gh = G2Projective::generator();
+    let xs_scalars: Vec<Fr> = (0..k).map(|_| Fr::random(rng)).collect();
+    let as_scalars: Vec<Fr> = (0..k).map(|_| Fr::random(rng)).collect();
+    let qs = Fr::random_nonzero(rng);
+    let inner: Fr = xs_scalars
+        .iter()
+        .zip(as_scalars.iter())
+        .fold(Fr::zero(), |acc, (x, a)| acc + *x * *a);
+    let v = -inner * qs.invert().unwrap();
+    let xs: Vec<G1Projective> = xs_scalars.iter().map(|x| g.mul(x)).collect();
+    let constants: Vec<G2Affine> = as_scalars.iter().map(|a| gh.mul(a).to_affine()).collect();
+    let extra = (
+        (G1Affine::identity(), g.mul(&v).to_affine()),
+        gh.mul(&qs).to_affine(),
+    );
+    (xs, constants, extra)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Completeness for 1..=3 variables on hiding and binding CRSs.
+    #[test]
+    fn completeness(seed in any::<u64>(), k in 1usize..4, binding in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crs = if binding {
+            Crs::binding(&mut rng).0
+        } else {
+            Crs::hiding(&mut rng)
+        };
+        let (xs, constants, extra) = statement(&mut rng, k);
+        let committed: Vec<_> = xs.iter().map(|x| crs.commit(x, &mut rng)).collect();
+        let commitments: Vec<Commitment> = committed.iter().map(|(c, _)| *c).collect();
+        let rands: Vec<_> = committed.iter().map(|(_, r)| *r).collect();
+        let proof = prove(&constants, &rands);
+        prop_assert!(verify(&crs, &constants, &commitments, &[extra], &proof));
+    }
+
+    /// Extraction on binding CRSs recovers exactly the witness.
+    #[test]
+    fn binding_extraction(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (crs, ek) = Crs::binding(&mut rng);
+        let x = G1Projective::random(&mut rng);
+        let (c, _) = crs.commit(&x, &mut rng);
+        prop_assert_eq!(ek.extract(&c), x);
+    }
+
+    /// Iterated randomization preserves validity.
+    #[test]
+    fn randomization_chain(seed in any::<u64>(), depth in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crs = Crs::hiding(&mut rng);
+        let (xs, constants, extra) = statement(&mut rng, 2);
+        let committed: Vec<_> = xs.iter().map(|x| crs.commit(x, &mut rng)).collect();
+        let mut commitments: Vec<Commitment> = committed.iter().map(|(c, _)| *c).collect();
+        let rands: Vec<_> = committed.iter().map(|(_, r)| *r).collect();
+        let mut proof = prove(&constants, &rands);
+        for _ in 0..depth {
+            let (c2, p2) = randomize(&crs, &constants, &commitments, &proof, &mut rng);
+            commitments = c2;
+            proof = p2;
+        }
+        prop_assert!(verify(&crs, &constants, &commitments, &[extra], &proof));
+    }
+
+    /// Weighted combination of independent proofs of the same equation
+    /// shape proves the weighted statement — with random weights.
+    #[test]
+    fn weighted_combination(seed in any::<u64>(), count in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crs = Crs::hiding(&mut rng);
+        let g = G1Projective::generator();
+        let gh = G2Projective::generator();
+        let alpha = Fr::random(&mut rng);
+        let a = gh.mul(&alpha).to_affine();
+        let qs = Fr::random_nonzero(&mut rng);
+        let q = gh.mul(&qs).to_affine();
+
+        // Statement j: e(X_j, Â)·e(g^{v_j}, Q̂) = 1.
+        let mut tuples: Vec<(Vec<Commitment>, borndist_grothsahai::Proof)> = Vec::new();
+        let mut vs = Vec::new();
+        for _ in 0..count {
+            let x_s = Fr::random(&mut rng);
+            let v = -(x_s * alpha) * qs.invert().unwrap();
+            let (c, r) = crs.commit(&g.mul(&x_s), &mut rng);
+            let p = prove(&[a], &[r]);
+            tuples.push((vec![c], p));
+            vs.push(v);
+        }
+        let weights: Vec<Fr> = (0..count).map(|_| Fr::random(&mut rng)).collect();
+        let tuple_refs: Vec<(&[Commitment], &borndist_grothsahai::Proof)> =
+            tuples.iter().map(|(c, p)| (c.as_slice(), p)).collect();
+        let (cc, cp) = combine_weighted(&tuple_refs, &weights);
+        let v_comb: Fr = vs.iter().zip(weights.iter()).fold(Fr::zero(), |acc, (v, w)| acc + *v * *w);
+        let extra = ((G1Affine::identity(), g.mul(&v_comb).to_affine()), q);
+        prop_assert!(verify(&crs, &[a], &cc, &[extra], &cp));
+    }
+}

@@ -1,0 +1,195 @@
+//! The generic one-time LHSPS template of Appendix C.
+//!
+//! The paper observes that every one-time linearly homomorphic SPS fits a
+//! common shape: `ns` signature elements in `G`, `m` verification
+//! equations of the form `Π_µ e(Z_µ, F̂_{j,µ}) · Π_k e(M_k, Ĝ_{j,k}) = 1`.
+//! This module captures that template as a trait, implemented by both
+//! concrete instantiations of this crate:
+//!
+//! * [`crate::one_time`] — `ns = 2`, `m = 1` (DP assumption);
+//! * [`crate::sdp`] — `ns = 3`, `m = 2` (SDP/DLIN assumption).
+//!
+//! The threshold constructions in `borndist-core` are written against
+//! the concrete types for clarity, but the trait documents the common
+//! contract (and Appendix D's generic transformations are stated over
+//! exactly this interface).
+
+use borndist_pairing::{Fr, G1Projective};
+use rand::RngCore;
+
+/// A one-time linearly homomorphic structure-preserving signature
+/// scheme over `(G, Ĝ, G_T)` (Appendix C template, tags omitted as the
+/// schemes are one-time).
+pub trait OneTimeLhsps {
+    /// Shared public parameters (the `F̂` bases).
+    type Params;
+    /// Secret key (exponent representation of the public key).
+    type SecretKey;
+    /// Public key (`Ĝ_{j,k}` elements).
+    type PublicKey;
+    /// Signature (`ns` group elements).
+    type Signature;
+
+    /// Number of signature elements `ns`.
+    const SIGNATURE_ELEMENTS: usize;
+    /// Number of verification equations `m`.
+    const VERIFICATION_EQUATIONS: usize;
+
+    /// `Keygen(λ, N)` for dimension-`n` message vectors.
+    fn keygen<R: RngCore + ?Sized>(n: usize, rng: &mut R) -> Self::SecretKey;
+
+    /// Derives the public key.
+    fn public_key(params: &Self::Params, sk: &Self::SecretKey) -> Self::PublicKey;
+
+    /// `Sign(sk, M⃗)` — deterministic.
+    fn sign(sk: &Self::SecretKey, msg: &[G1Projective]) -> Self::Signature;
+
+    /// `SignDerive(pk, {(ω_i, σ_i)})` — public linear derivation.
+    fn derive(weighted: &[(Fr, &Self::Signature)]) -> Self::Signature;
+
+    /// `Verify(pk, σ, M⃗)`.
+    fn verify(
+        params: &Self::Params,
+        pk: &Self::PublicKey,
+        msg: &[G1Projective],
+        sig: &Self::Signature,
+    ) -> bool;
+
+    /// Key homomorphism: `Sign(sk₁+sk₂, ·) = Sign(sk₁, ·)·Sign(sk₂, ·)`.
+    fn add_keys(a: &Self::SecretKey, b: &Self::SecretKey) -> Self::SecretKey;
+}
+
+/// The DP-based instantiation of §2.3 viewed through the template.
+pub struct DpLhsps;
+
+impl OneTimeLhsps for DpLhsps {
+    type Params = crate::params::DpParams;
+    type SecretKey = crate::one_time::OneTimeSecretKey;
+    type PublicKey = crate::one_time::OneTimePublicKey;
+    type Signature = crate::one_time::OneTimeSignature;
+
+    const SIGNATURE_ELEMENTS: usize = 2;
+    const VERIFICATION_EQUATIONS: usize = 1;
+
+    fn keygen<R: RngCore + ?Sized>(n: usize, rng: &mut R) -> Self::SecretKey {
+        crate::one_time::OneTimeSecretKey::random(n, rng)
+    }
+    fn public_key(params: &Self::Params, sk: &Self::SecretKey) -> Self::PublicKey {
+        sk.public_key(params)
+    }
+    fn sign(sk: &Self::SecretKey, msg: &[G1Projective]) -> Self::Signature {
+        sk.sign(msg)
+    }
+    fn derive(weighted: &[(Fr, &Self::Signature)]) -> Self::Signature {
+        crate::one_time::sign_derive(weighted)
+    }
+    fn verify(
+        params: &Self::Params,
+        pk: &Self::PublicKey,
+        msg: &[G1Projective],
+        sig: &Self::Signature,
+    ) -> bool {
+        pk.verify(params, msg, sig)
+    }
+    fn add_keys(a: &Self::SecretKey, b: &Self::SecretKey) -> Self::SecretKey {
+        a.add(b)
+    }
+}
+
+/// The SDP-based instantiation (Appendix F primitive) through the
+/// template.
+pub struct SdpLhsps;
+
+impl OneTimeLhsps for SdpLhsps {
+    type Params = crate::params::SdpParams;
+    type SecretKey = crate::sdp::SdpSecretKey;
+    type PublicKey = crate::sdp::SdpPublicKey;
+    type Signature = crate::sdp::SdpSignature;
+
+    const SIGNATURE_ELEMENTS: usize = 3;
+    const VERIFICATION_EQUATIONS: usize = 2;
+
+    fn keygen<R: RngCore + ?Sized>(n: usize, rng: &mut R) -> Self::SecretKey {
+        crate::sdp::SdpSecretKey::random(n, rng)
+    }
+    fn public_key(params: &Self::Params, sk: &Self::SecretKey) -> Self::PublicKey {
+        sk.public_key(params)
+    }
+    fn sign(sk: &Self::SecretKey, msg: &[G1Projective]) -> Self::Signature {
+        sk.sign(msg)
+    }
+    fn derive(weighted: &[(Fr, &Self::Signature)]) -> Self::Signature {
+        crate::sdp::sign_derive(weighted)
+    }
+    fn verify(
+        params: &Self::Params,
+        pk: &Self::PublicKey,
+        msg: &[G1Projective],
+        sig: &Self::Signature,
+    ) -> bool {
+        pk.verify(params, msg, sig)
+    }
+    fn add_keys(a: &Self::SecretKey, b: &Self::SecretKey) -> Self::SecretKey {
+        a.add(b)
+    }
+}
+
+/// Generic test battery usable with any template instantiation.
+#[cfg(test)]
+fn exercise_template<S: OneTimeLhsps>(params: &S::Params, seed: u64)
+where
+    S::Signature: PartialEq + core::fmt::Debug,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = S::keygen(2, &mut rng);
+    let pk = S::public_key(params, &sk);
+    let msg: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+    let sig = S::sign(&sk, &msg);
+    assert!(S::verify(params, &pk, &msg, &sig));
+
+    // Linear homomorphism through the trait.
+    let msg2: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+    let sig2 = S::sign(&sk, &msg2);
+    let (w1, w2) = (Fr::random(&mut rng), Fr::random(&mut rng));
+    let derived = S::derive(&[(w1, &sig), (w2, &sig2)]);
+    let combined: Vec<G1Projective> = msg
+        .iter()
+        .zip(msg2.iter())
+        .map(|(a, b)| a.mul(&w1) + b.mul(&w2))
+        .collect();
+    assert!(S::verify(params, &pk, &combined, &derived));
+
+    // Key homomorphism through the trait.
+    let sk2 = S::keygen(2, &mut rng);
+    let sum = S::add_keys(&sk, &sk2);
+    let sum_pk = S::public_key(params, &sum);
+    let s = S::sign(&sum, &msg);
+    assert!(S::verify(params, &sum_pk, &msg, &s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dp_instantiation_satisfies_template() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = crate::params::DpParams::random(&mut rng);
+        exercise_template::<DpLhsps>(&params, 2);
+        assert_eq!(DpLhsps::SIGNATURE_ELEMENTS, 2);
+        assert_eq!(DpLhsps::VERIFICATION_EQUATIONS, 1);
+    }
+
+    #[test]
+    fn sdp_instantiation_satisfies_template() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = crate::params::SdpParams::random(&mut rng);
+        exercise_template::<SdpLhsps>(&params, 4);
+        assert_eq!(SdpLhsps::SIGNATURE_ELEMENTS, 3);
+        assert_eq!(SdpLhsps::VERIFICATION_EQUATIONS, 2);
+    }
+}

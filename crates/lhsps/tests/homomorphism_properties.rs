@@ -1,0 +1,136 @@
+//! Property-based tests of the LHSPS primitive: the two homomorphisms
+//! (over messages and over keys) that the entire paper rests on, checked
+//! with random dimensions, weights, and derivation depths.
+
+use borndist_lhsps::{
+    one_time, sdp, DpParams, OneTimeSecretKey, SdpParams, SdpSecretKey,
+};
+use borndist_pairing::{Fr, G1Projective};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary linear combinations of signed vectors verify under the
+    /// derived signature, for any dimension 1..=4 and 2..=4 terms.
+    #[test]
+    fn dp_derivation_closed_under_linear_spans(
+        seed in any::<u64>(),
+        dim in 1usize..5,
+        terms in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let sk = OneTimeSecretKey::random(dim, &mut rng);
+        let pk = sk.public_key(&params);
+
+        let msgs: Vec<Vec<G1Projective>> = (0..terms)
+            .map(|_| (0..dim).map(|_| G1Projective::random(&mut rng)).collect())
+            .collect();
+        let sigs: Vec<_> = msgs.iter().map(|m| sk.sign(m)).collect();
+        let weights: Vec<Fr> = (0..terms).map(|_| Fr::random(&mut rng)).collect();
+
+        let weighted: Vec<(Fr, &one_time::OneTimeSignature)> =
+            weights.iter().copied().zip(sigs.iter()).collect();
+        let derived = one_time::sign_derive(&weighted);
+
+        let mut combined = vec![G1Projective::identity(); dim];
+        for (w, m) in weights.iter().zip(msgs.iter()) {
+            for (acc, point) in combined.iter_mut().zip(m.iter()) {
+                *acc += point.mul(w);
+            }
+        }
+        prop_assert!(pk.verify(&params, &combined, &derived));
+    }
+
+    /// Derivation composes: deriving from derived signatures equals
+    /// deriving with composed weights.
+    #[test]
+    fn dp_derivation_composes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let sk = OneTimeSecretKey::random(2, &mut rng);
+        let pk = sk.public_key(&params);
+        let m1: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let m2: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let (s1, s2) = (sk.sign(&m1), sk.sign(&m2));
+        let (a, b, c) = (Fr::random(&mut rng), Fr::random(&mut rng), Fr::random(&mut rng));
+        // d1 = a·s1 + b·s2; d2 = c·d1 should equal (ca)·s1 + (cb)·s2.
+        let d1 = one_time::sign_derive(&[(a, &s1), (b, &s2)]);
+        let d2 = one_time::sign_derive(&[(c, &d1)]);
+        let direct = one_time::sign_derive(&[(c * a, &s1), (c * b, &s2)]);
+        prop_assert_eq!(d2, direct);
+        // And it verifies on the composed message.
+        let combined: Vec<G1Projective> = m1.iter().zip(m2.iter())
+            .map(|(x, y)| x.mul(&(c * a)) + y.mul(&(c * b)))
+            .collect();
+        prop_assert!(pk.verify(&params, &combined, &d2));
+    }
+
+    /// Key homomorphism extends to arbitrary sums of keys — the exact
+    /// property that makes DKG-born keys sign correctly.
+    #[test]
+    fn dp_key_sums_sign_like_joint_keys(seed in any::<u64>(), parties in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let keys: Vec<OneTimeSecretKey> =
+            (0..parties).map(|_| OneTimeSecretKey::random(2, &mut rng)).collect();
+        let msg: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+
+        // Product of per-party signatures...
+        let mut z = G1Projective::identity();
+        let mut r = G1Projective::identity();
+        for k in &keys {
+            let s = k.sign(&msg);
+            z += s.z.to_projective();
+            r += s.r.to_projective();
+        }
+        // ...equals the signature under the summed key.
+        let joint = keys.iter().skip(1).fold(keys[0].clone(), |acc, k| acc.add(k));
+        let joint_sig = joint.sign(&msg);
+        prop_assert_eq!(joint_sig.z.to_projective(), z);
+        prop_assert_eq!(joint_sig.r.to_projective(), r);
+        // And verifies under the combined public key.
+        let joint_pk = joint.public_key(&params);
+        prop_assert!(joint_pk.verify(&params, &msg, &joint_sig));
+    }
+
+    /// The SDP variant satisfies the same two homomorphisms.
+    #[test]
+    fn sdp_homomorphisms(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = SdpParams::random(&mut rng);
+        let sk1 = SdpSecretKey::random(3, &mut rng);
+        let sk2 = SdpSecretKey::random(3, &mut rng);
+        let msg: Vec<G1Projective> = (0..3).map(|_| G1Projective::random(&mut rng)).collect();
+        let (w1, w2) = (Fr::random(&mut rng), Fr::random(&mut rng));
+
+        // Linear homomorphism.
+        let m2: Vec<G1Projective> = (0..3).map(|_| G1Projective::random(&mut rng)).collect();
+        let derived = sdp::sign_derive(&[(w1, &sk1.sign(&msg)), (w2, &sk1.sign(&m2))]);
+        let combined: Vec<G1Projective> = msg.iter().zip(m2.iter())
+            .map(|(a, b)| a.mul(&w1) + b.mul(&w2))
+            .collect();
+        prop_assert!(sk1.public_key(&params).verify(&params, &combined, &derived));
+
+        // Key homomorphism.
+        let sum = sk1.add(&sk2);
+        prop_assert!(sum.public_key(&params).verify(&params, &msg, &sum.sign(&msg)));
+    }
+
+    /// Unforgeability smoke property: signatures never verify on vectors
+    /// outside the signed span (tested with an independent random vector).
+    #[test]
+    fn signatures_bound_to_their_span(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let sk = OneTimeSecretKey::random(2, &mut rng);
+        let pk = sk.public_key(&params);
+        let msg: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let sig = sk.sign(&msg);
+        let other: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        prop_assert!(!pk.verify(&params, &other, &sig));
+    }
+}

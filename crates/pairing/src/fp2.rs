@@ -1,0 +1,325 @@
+//! Quadratic extension `Fp2 = Fp[u]/(u² + 1)`.
+//!
+//! `Fp2` hosts the coordinates of the twist curve carrying `G2` (the group
+//! `Ĝ` of the paper, where verification keys live). The cubic/sextic
+//! non-residue used by the higher tower levels is `ξ = 1 + u`.
+
+use crate::constants::{FP2_SQRT_E1, FP2_SQRT_E2};
+use crate::fp::Fp;
+use crate::traits::Field;
+use rand::RngCore;
+
+/// An element `c0 + c1·u` of `Fp2`, with `u² = -1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp2 {
+    /// Coefficient of `1`.
+    pub c0: Fp,
+    /// Coefficient of `u`.
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// Constructs an element from its two `Fp` coefficients.
+    pub const fn new(c0: Fp, c1: Fp) -> Self {
+        Fp2 { c0, c1 }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Fp2::new(Fp::zero(), Fp::zero())
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Fp2::new(Fp::one(), Fp::zero())
+    }
+
+    /// Embeds an `Fp` element as `a + 0·u`.
+    pub fn from_fp(a: Fp) -> Self {
+        Fp2::new(a, Fp::zero())
+    }
+
+    /// The tower non-residue `ξ = 1 + u`.
+    pub fn xi() -> Self {
+        Fp2::new(Fp::one(), Fp::one())
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    /// Scales by an `Fp` element.
+    pub fn mul_by_fp(&self, a: &Fp) -> Self {
+        Fp2::new(self.c0 * *a, self.c1 * *a)
+    }
+
+    /// Multiplies by the non-residue `ξ = 1 + u`:
+    /// `(c0 + c1·u)(1 + u) = (c0 - c1) + (c0 + c1)·u`.
+    pub fn mul_by_xi(&self) -> Self {
+        Fp2::new(self.c0 - self.c1, self.c0 + self.c1)
+    }
+
+    /// The conjugate `c0 - c1·u`, which equals the `p`-power Frobenius.
+    pub fn conjugate(&self) -> Self {
+        Fp2::new(self.c0, -self.c1)
+    }
+
+    /// `self * self`, using the complex-squaring shortcut.
+    pub fn square(&self) -> Self {
+        // (c0 + c1 u)^2 = (c0+c1)(c0-c1) + 2 c0 c1 u
+        let a = self.c0 + self.c1;
+        let b = self.c0 - self.c1;
+        let c = self.c0 * self.c1;
+        Fp2::new(a * b, c.double())
+    }
+
+    /// `self + self`.
+    pub fn double(&self) -> Self {
+        Fp2::new(self.c0.double(), self.c1.double())
+    }
+
+    /// Multiplicative inverse, `None` for zero.
+    pub fn invert(&self) -> Option<Self> {
+        // 1/(c0 + c1 u) = (c0 - c1 u) / (c0^2 + c1^2)
+        let norm = self.c0.square() + self.c1.square();
+        norm.invert()
+            .map(|inv| Fp2::new(self.c0 * inv, -(self.c1 * inv)))
+    }
+
+    /// Computes a square root, if one exists.
+    ///
+    /// Uses the "complex method" valid for `p ≡ 3 mod 4`; the result is
+    /// verified before being returned, so `None` exactly characterizes
+    /// non-residues.
+    pub fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        let a1 = self.pow_vartime(&FP2_SQRT_E1); // a^((p-3)/4)
+        let x0 = a1 * *self;
+        let alpha = a1 * x0; // a^((p-1)/2)
+        let cand = if alpha == -Fp2::one() {
+            // multiply by u (a square root of -1)
+            Fp2::new(-x0.c1, x0.c0)
+        } else {
+            let b = (alpha + Fp2::one()).pow_vartime(&FP2_SQRT_E2);
+            b * x0
+        };
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// Sign convention for compressed points: compares `c1` first, then
+    /// `c0`, against their negatives (ZCash-style ordering).
+    pub fn is_lexicographically_largest(&self) -> bool {
+        if !self.c1.is_zero() {
+            self.c1.is_lexicographically_largest()
+        } else {
+            self.c0.is_lexicographically_largest()
+        }
+    }
+
+    /// Serializes as `c1 || c0` big-endian (96 bytes), matching the field
+    /// ordering used by common BLS12-381 encodings.
+    pub fn to_bytes(&self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..48].copy_from_slice(&self.c1.to_bytes());
+        out[48..].copy_from_slice(&self.c0.to_bytes());
+        out
+    }
+
+    /// Deserializes from `c1 || c0` big-endian bytes.
+    pub fn from_bytes(bytes: &[u8; 96]) -> Option<Self> {
+        let c1 = Fp::from_bytes(bytes[..48].try_into().unwrap())?;
+        let c0 = Fp::from_bytes(bytes[48..].try_into().unwrap())?;
+        Some(Fp2::new(c0, c1))
+    }
+}
+
+impl core::fmt::Debug for Fp2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp2({:?} + {:?}*u)", self.c0, self.c1)
+    }
+}
+
+impl core::ops::Add for Fp2 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fp2::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+impl core::ops::Sub for Fp2 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fp2::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+impl core::ops::Neg for Fp2 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fp2::new(-self.c0, -self.c1)
+    }
+}
+impl core::ops::Mul for Fp2 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba: 3 Fp multiplications.
+        let aa = self.c0 * rhs.c0;
+        let bb = self.c1 * rhs.c1;
+        let cross = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Fp2::new(aa - bb, cross - aa - bb)
+    }
+}
+impl core::ops::AddAssign for Fp2 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fp2 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fp2 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fp2 {
+    fn zero() -> Self {
+        Fp2::zero()
+    }
+    fn one() -> Self {
+        Fp2::one()
+    }
+    fn is_zero(&self) -> bool {
+        Fp2::is_zero(self)
+    }
+    fn square(&self) -> Self {
+        Fp2::square(self)
+    }
+    fn double(&self) -> Self {
+        Fp2::double(self)
+    }
+    fn invert(&self) -> Option<Self> {
+        Fp2::invert(self)
+    }
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Fp2::new(Fp::random(rng), Fp::random(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x2f2f)
+    }
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        let u = Fp2::new(Fp::zero(), Fp::one());
+        assert_eq!(u.square(), -Fp2::one());
+    }
+
+    #[test]
+    fn ring_axioms() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let (a, b, c) = (Fp2::random(&mut r), Fp2::random(&mut r), Fp2::random(&mut r));
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            assert_eq!(a.double(), a + a);
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.invert().unwrap(), Fp2::one());
+        }
+        assert!(Fp2::zero().invert().is_none());
+    }
+
+    #[test]
+    fn conjugate_is_frobenius() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        // a^p = conjugate(a): verify (a*b)^p = a^p b^p and fixed points.
+        let b = Fp2::random(&mut r);
+        assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+        let embedded = Fp2::from_fp(Fp::from_u64(7));
+        assert_eq!(embedded.conjugate(), embedded);
+        // conj(conj(a)) = a
+        assert_eq!(a.conjugate().conjugate(), a);
+        // a * conj(a) lies in Fp (imaginary part zero)
+        assert!( (a * a.conjugate()).c1.is_zero() );
+    }
+
+    #[test]
+    fn mul_by_xi_matches_mul() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_xi(), a * Fp2::xi());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let mut r = rng();
+        let mut found_residue = 0;
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares have roots");
+            assert!(root == a || root == -a);
+            found_residue += 1;
+        }
+        assert!(found_residue > 0);
+    }
+
+    #[test]
+    fn sqrt_rejects_non_residues() {
+        // In Fp2, an element is a square iff its norm is a square in Fp.
+        // Scan a few small elements and cross-check candidate roots.
+        let mut r = rng();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            let a = Fp2::random(&mut r);
+            if a.sqrt().is_none() {
+                rejected += 1;
+            }
+        }
+        // About half of all elements are non-squares.
+        assert!(rejected > 0, "expected at least one non-residue in sample");
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        assert_eq!(Fp2::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_by_fp_consistent() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let s = Fp::from_u64(12345);
+        assert_eq!(a.mul_by_fp(&s), a * Fp2::from_fp(s));
+    }
+}

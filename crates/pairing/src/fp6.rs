@@ -1,0 +1,222 @@
+//! Cubic extension `Fp6 = Fp2[v]/(v³ - ξ)` with `ξ = 1 + u`.
+
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::traits::Field;
+use rand::RngCore;
+
+/// An element `c0 + c1·v + c2·v²` of `Fp6`, with `v³ = ξ`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp6 {
+    /// Coefficient of `1`.
+    pub c0: Fp2,
+    /// Coefficient of `v`.
+    pub c1: Fp2,
+    /// Coefficient of `v²`.
+    pub c2: Fp2,
+}
+
+impl Fp6 {
+    /// Constructs an element from its three `Fp2` coefficients.
+    pub const fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
+        Fp6 { c0, c1, c2 }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Fp6::new(Fp2::zero(), Fp2::zero(), Fp2::zero())
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Fp6::new(Fp2::one(), Fp2::zero(), Fp2::zero())
+    }
+
+    /// Embeds an `Fp2` element in the constant coefficient.
+    pub fn from_fp2(a: Fp2) -> Self {
+        Fp6::new(a, Fp2::zero(), Fp2::zero())
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    /// Multiplies by `v`: `(c0, c1, c2) ↦ (ξ·c2, c0, c1)`.
+    pub fn mul_by_v(&self) -> Self {
+        Fp6::new(self.c2.mul_by_xi(), self.c0, self.c1)
+    }
+
+    /// Scales by an `Fp2` element.
+    pub fn mul_by_fp2(&self, a: &Fp2) -> Self {
+        Fp6::new(self.c0 * *a, self.c1 * *a, self.c2 * *a)
+    }
+
+    /// Scales by an `Fp` element.
+    pub fn mul_by_fp(&self, a: &Fp) -> Self {
+        Fp6::new(
+            self.c0.mul_by_fp(a),
+            self.c1.mul_by_fp(a),
+            self.c2.mul_by_fp(a),
+        )
+    }
+
+    /// `self * self`.
+    pub fn square(&self) -> Self {
+        *self * *self
+    }
+
+    /// `self + self`.
+    pub fn double(&self) -> Self {
+        Fp6::new(self.c0.double(), self.c1.double(), self.c2.double())
+    }
+
+    /// Multiplicative inverse, `None` for zero.
+    pub fn invert(&self) -> Option<Self> {
+        // Standard formula: with A = c0² - ξ c1 c2, B = ξ c2² - c0 c1,
+        // C = c1² - c0 c2, and  t = c0 A + ξ (c2 B + c1 C),
+        // the inverse is (A + B v + C v²)/t.
+        let a = self.c0.square() - (self.c1 * self.c2).mul_by_xi();
+        let b = self.c2.square().mul_by_xi() - self.c0 * self.c1;
+        let c = self.c1.square() - self.c0 * self.c2;
+        let t = self.c0 * a + ((self.c2 * b) + (self.c1 * c)).mul_by_xi();
+        t.invert()
+            .map(|t_inv| Fp6::new(a * t_inv, b * t_inv, c * t_inv))
+    }
+}
+
+impl core::fmt::Debug for Fp6 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp6({:?}, {:?}, {:?})", self.c0, self.c1, self.c2)
+    }
+}
+
+impl core::ops::Add for Fp6 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fp6::new(self.c0 + rhs.c0, self.c1 + rhs.c1, self.c2 + rhs.c2)
+    }
+}
+impl core::ops::Sub for Fp6 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fp6::new(self.c0 - rhs.c0, self.c1 - rhs.c1, self.c2 - rhs.c2)
+    }
+}
+impl core::ops::Neg for Fp6 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fp6::new(-self.c0, -self.c1, -self.c2)
+    }
+}
+impl core::ops::Mul for Fp6 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Toom/Karatsuba interpolation with reduction by v³ = ξ.
+        let t0 = self.c0 * rhs.c0;
+        let t1 = self.c1 * rhs.c1;
+        let t2 = self.c2 * rhs.c2;
+        let c0 =
+            t0 + ((self.c1 + self.c2) * (rhs.c1 + rhs.c2) - t1 - t2).mul_by_xi();
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - t0 - t1 + t2.mul_by_xi();
+        let c2 = (self.c0 + self.c2) * (rhs.c0 + rhs.c2) - t0 - t2 + t1;
+        Fp6::new(c0, c1, c2)
+    }
+}
+impl core::ops::AddAssign for Fp6 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fp6 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fp6 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Field for Fp6 {
+    fn zero() -> Self {
+        Fp6::zero()
+    }
+    fn one() -> Self {
+        Fp6::one()
+    }
+    fn is_zero(&self) -> bool {
+        Fp6::is_zero(self)
+    }
+    fn square(&self) -> Self {
+        Fp6::square(self)
+    }
+    fn double(&self) -> Self {
+        Fp6::double(self)
+    }
+    fn invert(&self) -> Option<Self> {
+        Fp6::invert(self)
+    }
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Fp6::new(Fp2::random(rng), Fp2::random(rng), Fp2::random(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x6f6f)
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        let v3 = v * v * v;
+        assert_eq!(v3, Fp6::from_fp2(Fp2::xi()));
+    }
+
+    #[test]
+    fn ring_axioms() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let (a, b, c) = (Fp6::random(&mut r), Fp6::random(&mut r), Fp6::random(&mut r));
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp6::random(&mut r);
+            assert_eq!(a * a.invert().unwrap(), Fp6::one());
+        }
+        assert!(Fp6::zero().invert().is_none());
+    }
+
+    #[test]
+    fn mul_by_v_matches_mul() {
+        let mut r = rng();
+        let a = Fp6::random(&mut r);
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        assert_eq!(a.mul_by_v(), a * v);
+    }
+
+    #[test]
+    fn scalar_muls_consistent() {
+        let mut r = rng();
+        let a = Fp6::random(&mut r);
+        let s2 = Fp2::random(&mut r);
+        assert_eq!(a.mul_by_fp2(&s2), a * Fp6::from_fp2(s2));
+        let s = Fp::from_u64(99);
+        assert_eq!(a.mul_by_fp(&s), a * Fp6::from_fp2(Fp2::from_fp(s)));
+    }
+}

@@ -1,0 +1,68 @@
+//! # borndist-pairing
+//!
+//! A from-scratch implementation of the BLS12-381 pairing-friendly curve:
+//! the cryptographic substrate for the *Born and Raised Distributively*
+//! threshold-signature reproduction (Libert–Joye–Yung, PODC 2014).
+//!
+//! The paper assumes an asymmetric (type-3) bilinear group
+//! `e : G × Ĝ → G_T` in which SXDH holds. This crate provides exactly that
+//! interface:
+//!
+//! * [`Fp`], [`Fr`] — Montgomery-form base and scalar fields;
+//! * [`Fp2`], [`Fp6`], [`Fp12`] — the tower used by the pairing;
+//! * [`G1Projective`]/[`G1Affine`] — the group `G` (signatures, hashes);
+//! * [`G2Projective`]/[`G2Affine`] — the group `Ĝ` (keys, commitments);
+//! * [`Gt`], [`pairing`], [`multi_pairing`] — the target group and map;
+//! * [`hash_to_g1`], [`hash_to_g2`], [`hash_to_g1_vector`], [`hash_to_fr`]
+//!   — the paper's random oracles;
+//! * [`msm`] — multi-scalar multiplication ("Lagrange in the exponent");
+//! * [`Sha256`] — the only hash primitive, also written from scratch.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use borndist_pairing::{pairing, G1Projective, G2Projective, Fr, Gt};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+//! let p = (G1Projective::generator() * a).to_affine();
+//! let q = (G2Projective::generator() * b).to_affine();
+//! // Bilinearity: e(aP, bQ) = e(P, Q)^(ab).
+//! assert_eq!(pairing(&p, &q), Gt::generator().pow(&(a * b)));
+//! ```
+//!
+//! ## Security model
+//!
+//! All arithmetic is **variable-time**. This workspace is a research
+//! reproduction executed on public or simulated data; it must not be used
+//! to protect real keys against side-channel adversaries.
+
+mod arith;
+pub mod constants;
+mod curve;
+mod fp;
+mod fp12;
+mod fp2;
+mod fp6;
+mod fr;
+mod hash_to_curve;
+mod msm;
+mod pairing;
+mod sha256;
+mod traits;
+
+pub use curve::{
+    Affine, CurveParams, DecodePointError, G1Affine, G1Params, G1Projective, G2Affine, G2Params,
+    G2Projective, Projective,
+};
+pub use fp::Fp;
+pub use fp12::Fp12;
+pub use fp2::Fp2;
+pub use fp6::Fp6;
+pub use fr::Fr;
+pub use hash_to_curve::{hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2};
+pub use msm::msm;
+pub use pairing::{multi_pairing, pairing, Gt};
+pub use sha256::{expand_message, sha256, sha256_tagged, Sha256};
+pub use traits::Field;

@@ -1,0 +1,171 @@
+//! Multi-scalar multiplication (Pippenger's bucket algorithm).
+//!
+//! Used to accelerate the `Combine` step of all threshold schemes
+//! (Lagrange interpolation in the exponent, experiment E6) and the
+//! public computation of verification keys from broadcast commitments.
+
+use crate::curve::{Affine, CurveParams, Projective};
+use crate::fr::Fr;
+
+/// Computes `Σ scalars[i] · bases[i]` over any of the curve groups.
+///
+/// Uses a windowed bucket method with a window size chosen from the input
+/// length; falls back to naive double-and-add for very small inputs.
+///
+/// # Panics
+///
+/// Panics if `bases` and `scalars` have different lengths.
+pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+    assert_eq!(
+        bases.len(),
+        scalars.len(),
+        "msm requires equal-length inputs"
+    );
+    if bases.is_empty() {
+        return Projective::identity();
+    }
+    if bases.len() < 4 {
+        let mut acc = Projective::identity();
+        for (b, s) in bases.iter().zip(scalars.iter()) {
+            acc += b.mul(s);
+        }
+        return acc;
+    }
+
+    let window = match bases.len() {
+        0..=15 => 3,
+        16..=127 => 5,
+        128..=1023 => 8,
+        _ => 11,
+    };
+    let num_windows = 256_usize.div_ceil(window);
+    let bucket_count = (1usize << window) - 1;
+    let bits: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_le_bits()).collect();
+
+    let mut result = Projective::identity();
+    for w in (0..num_windows).rev() {
+        for _ in 0..window {
+            result = result.double();
+        }
+        let mut buckets = vec![Projective::<C>::identity(); bucket_count];
+        let lo = w * window;
+        for (base, limbs) in bases.iter().zip(bits.iter()) {
+            let idx = extract_bits(limbs, lo, window);
+            if idx > 0 {
+                buckets[idx - 1] = buckets[idx - 1].add_affine(base);
+            }
+        }
+        // Suffix-sum the buckets: sum_j j * bucket[j].
+        let mut running = Projective::identity();
+        let mut window_sum = Projective::identity();
+        for b in buckets.iter().rev() {
+            running += *b;
+            window_sum += running;
+        }
+        result += window_sum;
+    }
+    result
+}
+
+/// Extracts `count` bits of a 256-bit little-endian integer starting at
+/// bit `lo` (values past bit 255 read as zero).
+fn extract_bits(limbs: &[u64; 4], lo: usize, count: usize) -> usize {
+    let mut out = 0usize;
+    for i in 0..count {
+        let bit = lo + i;
+        if bit >= 256 {
+            break;
+        }
+        let b = (limbs[bit / 64] >> (bit % 64)) & 1;
+        out |= (b as usize) << i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{G1Projective, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x3533)
+    }
+
+    fn naive<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+        let mut acc = Projective::identity();
+        for (b, s) in bases.iter().zip(scalars.iter()) {
+            acc += b.mul(s);
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let out: G1Projective = msm::<crate::curve::G1Params>(&[], &[]);
+        assert!(out.is_identity());
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 5, 8] {
+            let bases: Vec<_> = (0..n)
+                .map(|_| G1Projective::random(&mut r).to_affine())
+                .collect();
+            let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut r)).collect();
+            assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars), "n={}", n);
+        }
+    }
+
+    #[test]
+    fn matches_naive_medium() {
+        let mut r = rng();
+        let n = 40;
+        let bases: Vec<_> = (0..n)
+            .map(|_| G1Projective::random(&mut r).to_affine())
+            .collect();
+        let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn works_on_g2() {
+        let mut r = rng();
+        let n = 6;
+        let bases: Vec<_> = (0..n)
+            .map(|_| G2Projective::random(&mut r).to_affine())
+            .collect();
+        let scalars: Vec<_> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn zero_scalars_and_identity_bases() {
+        let mut r = rng();
+        let bases = vec![
+            G1Projective::random(&mut r).to_affine(),
+            crate::curve::G1Affine::identity(),
+            G1Projective::random(&mut r).to_affine(),
+            G1Projective::random(&mut r).to_affine(),
+            G1Projective::random(&mut r).to_affine(),
+        ];
+        let scalars = vec![
+            Fr::zero(),
+            Fr::random(&mut r),
+            Fr::one(),
+            Fr::random(&mut r),
+            Fr::zero(),
+        ];
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn length_mismatch_panics() {
+        let bases = vec![crate::curve::G1Affine::generator()];
+        let scalars: Vec<Fr> = vec![];
+        let _ = msm(&bases, &scalars);
+    }
+}

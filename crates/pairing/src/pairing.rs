@@ -1,0 +1,334 @@
+//! The bilinear map `e : G1 × G2 → GT`.
+//!
+//! We implement the *reduced Tate pairing* with denominator elimination
+//! (Barreto–Kim–Lynn–Scott): for `P ∈ G1 ⊂ E(Fp)` and `Q ∈ G2 ⊂ E'(Fp2)`,
+//!
+//! ```text
+//!     e(P, Q) = f_{r,P}(ψ(Q))^((p¹² - 1)/r)
+//! ```
+//!
+//! where `ψ : E'(Fp2) → E(Fp12)` is the untwisting isomorphism
+//! `(x, y) ↦ (x/w², y/w³)`. The Miller loop runs over the bits of the group
+//! order `r` with all point arithmetic in `Fp` (cheap), evaluating sparse
+//! line functions at `ψ(Q)`. Vertical-line denominators land in the
+//! subfield `Fp6` and are annihilated by the final exponentiation, so they
+//! are dropped.
+//!
+//! The final exponentiation splits into the *easy part*
+//! `(p⁶-1)(p²+1)` (conjugation, one inversion, one Frobenius) and the
+//! *hard part* `(p⁴-p²+1)/r`, computed as a plain variable-time power with
+//! a precomputed 1270-bit exponent. This is slower than the cyclotomic
+//! addition chains used by production libraries but straightforwardly
+//! correct — an explicit trade-off documented in DESIGN.md.
+//!
+//! [`multi_pairing`] evaluates `Π e(P_i, Q_i)` with a *shared* Miller
+//! accumulator (one squaring cascade and one final exponentiation for the
+//! whole product), which is what makes the scheme's four-pairing
+//! verification equations economical.
+
+use crate::constants::{FINAL_EXP_HARD, ORDER};
+use crate::curve::{G1Affine, G1Projective, G2Affine};
+
+use crate::fp2::Fp2;
+use crate::fp12::Fp12;
+use crate::fr::Fr;
+use crate::traits::Field;
+
+/// An element of the target group `GT ⊂ Fp12*` (order `r`), written
+/// multiplicatively.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gt(pub(crate) Fp12);
+
+impl Gt {
+    /// The multiplicative identity `1 ∈ GT`.
+    pub fn identity() -> Self {
+        Gt(Fp12::one())
+    }
+
+    /// The canonical generator `e(g1, g2)`.
+    pub fn generator() -> Self {
+        pairing(&G1Affine::generator(), &G2Affine::generator())
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_identity(&self) -> bool {
+        self.0.is_one()
+    }
+
+    /// Group inverse. Elements of `GT` are unitary, so the inverse is the
+    /// (cheap) conjugation over `Fp6`.
+    pub fn inverse(&self) -> Self {
+        Gt(self.0.conjugate())
+    }
+
+    /// Variable-time exponentiation by a scalar.
+    pub fn pow(&self, k: &Fr) -> Self {
+        Gt(self.0.pow_vartime(&k.to_le_bits()))
+    }
+
+    /// Exposes the underlying `Fp12` element (e.g. for hashing/serializing).
+    pub fn as_fp12(&self) -> &Fp12 {
+        &self.0
+    }
+}
+
+impl core::ops::Mul for Gt {
+    type Output = Gt;
+    fn mul(self, rhs: Gt) -> Gt {
+        Gt(self.0 * rhs.0)
+    }
+}
+impl core::ops::MulAssign for Gt {
+    fn mul_assign(&mut self, rhs: Gt) {
+        self.0 *= rhs.0;
+    }
+}
+
+/// Per-pair state of the shared Miller loop.
+struct MillerPair {
+    /// Accumulator point `T = kP`, Jacobian over `Fp`.
+    t: G1Projective,
+    /// The base point `P` in affine form.
+    p: G1Affine,
+    /// `x_Q · ξ⁻¹ ∈ Fp2` — the `v²` coefficient of `ψ(Q)`'s x-coordinate.
+    xq: Fp2,
+    /// `y_Q · ξ⁻¹ ∈ Fp2` — the `v·w` coefficient of `ψ(Q)`'s y-coordinate.
+    yq: Fp2,
+}
+
+impl MillerPair {
+    fn new(p: &G1Affine, q: &G2Affine) -> Self {
+        let xi_inv = Fp2::xi().invert().expect("xi is non-zero");
+        MillerPair {
+            t: p.to_projective(),
+            p: *p,
+            xq: q.x() * xi_inv,
+            yq: q.y() * xi_inv,
+        }
+    }
+
+    /// Doubling step: multiplies the tangent line at `T` (evaluated at
+    /// `ψ(Q)`) into `f` and sets `T ← 2T`.
+    fn double_step(&mut self, f: &mut Fp12) {
+        let (x, y, z) = (self.t.x, self.t.y, self.t.z);
+        // dbl-2009-l intermediates, shared with the line computation.
+        let a = x.square();
+        let b = y.square();
+        let c = b.square();
+        let d = ((x + b).square() - a - c).double();
+        let e = a.double() + a; // 3x²
+        let fq = e.square();
+        let x3 = fq - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (y * z).double();
+        // Tangent line at T, scaled by 2YZ³ (an Fp constant, killed by the
+        // final exponentiation):  ℓ = (2YZ³)·ys - (3X²Z²)·xs + (3X³ - 2Y²).
+        let zz = z.square();
+        let coeff_y = z3 * zz; // 2YZ³
+        let coeff_x = e * zz; // 3X²Z²
+        let constant = e * x - b.double(); // 3X³ - 2Y²
+        let lb = self.xq.mul_by_fp(&coeff_x);
+        let lc = self.yq.mul_by_fp(&coeff_y);
+        *f = f.mul_by_line(&constant, &(-lb), &lc);
+        self.t = G1Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+        };
+    }
+
+    /// Addition step: multiplies the chord through `T` and `P` (evaluated
+    /// at `ψ(Q)`) into `f` and sets `T ← T + P`.
+    fn add_step(&mut self, f: &mut Fp12) {
+        let (x, y, z) = (self.t.x, self.t.y, self.t.z);
+        let (xp, yp) = (self.p.x(), self.p.y());
+        let zz = z.square();
+        let zzz = zz * z;
+        // Chord through T and P, scaled by Z(X - xp Z²):
+        //   ℓ = c1·ys - c2·xs + (c2·xp - c1·yp)
+        // with c1 = Z(X - xp Z²), c2 = Y - yp Z³.
+        let c1 = z * (x - xp * zz);
+        let c2 = y - yp * zzz;
+        let constant = c2 * xp - c1 * yp;
+        let lb = self.xq.mul_by_fp(&c2);
+        let lc = self.yq.mul_by_fp(&c1);
+        *f = f.mul_by_line(&constant, &(-lb), &lc);
+        self.t = self.t.add_affine(&self.p);
+    }
+}
+
+/// Evaluates the product of Miller functions `Π f_{r,P_i}(ψ(Q_i))` with a
+/// shared accumulator. Identity inputs contribute the factor `1`.
+fn miller_loop(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
+    let mut state: Vec<MillerPair> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| MillerPair::new(p, q))
+        .collect();
+    let mut f = Fp12::one();
+    if state.is_empty() {
+        return f;
+    }
+    // Bits of r, from the bit below the MSB (bit 254) down to bit 0.
+    for i in (0..=253usize).rev() {
+        f = f.square();
+        for pair in state.iter_mut() {
+            pair.double_step(&mut f);
+        }
+        if (ORDER[i / 64] >> (i % 64)) & 1 == 1 {
+            for pair in state.iter_mut() {
+                pair.add_step(&mut f);
+            }
+        }
+    }
+    f
+}
+
+/// The final exponentiation `f ↦ f^((p¹²-1)/r)`.
+fn final_exponentiation(f: &Fp12) -> Gt {
+    // Easy part: f^((p^6-1)(p^2+1)).
+    let t0 = f.conjugate() * f.invert().expect("Miller output is non-zero");
+    let t1 = t0.frobenius_p2() * t0;
+    // Hard part: plain power by the precomputed exponent (p^4-p^2+1)/r.
+    Gt(t1.pow_vartime(&FINAL_EXP_HARD))
+}
+
+/// Computes the pairing `e(P, Q)`.
+///
+/// Returns the identity if either input is the identity.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    final_exponentiation(&miller_loop(&[(p, q)]))
+}
+
+/// Computes the product `Π e(P_i, Q_i)` with a single shared Miller loop
+/// and one final exponentiation — the workhorse of all verification
+/// equations in this workspace.
+pub fn multi_pairing(pairs: &[(&G1Affine, &G2Affine)]) -> Gt {
+    final_exponentiation(&miller_loop(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{G1Projective, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9a19)
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = Gt::generator();
+        assert!(!e.is_identity());
+    }
+
+    #[test]
+    fn identity_inputs_map_to_one() {
+        let q = G2Affine::generator();
+        let p = G1Affine::generator();
+        assert!(pairing(&G1Affine::identity(), &q).is_identity());
+        assert!(pairing(&p, &G2Affine::identity()).is_identity());
+    }
+
+    #[test]
+    fn bilinear_in_first_argument() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let p = G1Projective::generator();
+        let q = G2Affine::generator();
+        let lhs = pairing(&p.mul(&a).to_affine(), &q);
+        let rhs = pairing(&p.to_affine(), &q).pow(&a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_second_argument() {
+        let mut r = rng();
+        let b = Fr::random(&mut r);
+        let p = G1Affine::generator();
+        let q = G2Projective::generator();
+        let lhs = pairing(&p, &q.mul(&b).to_affine());
+        let rhs = pairing(&p, &q.to_affine()).pow(&b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn full_bilinearity() {
+        let mut r = rng();
+        let (a, b) = (Fr::random(&mut r), Fr::random(&mut r));
+        let p = G1Projective::generator().mul(&a).to_affine();
+        let q = G2Projective::generator().mul(&b).to_affine();
+        assert_eq!(pairing(&p, &q), Gt::generator().pow(&(a * b)));
+    }
+
+    #[test]
+    fn additive_in_first_argument() {
+        let mut r = rng();
+        let p1 = G1Projective::random(&mut r);
+        let p2 = G1Projective::random(&mut r);
+        let q = G2Projective::random(&mut r).to_affine();
+        let lhs = pairing(&(p1 + p2).to_affine(), &q);
+        let rhs = pairing(&p1.to_affine(), &q) * pairing(&p2.to_affine(), &q);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn negation_inverts() {
+        let mut r = rng();
+        let p = G1Projective::random(&mut r).to_affine();
+        let q = G2Projective::random(&mut r).to_affine();
+        let e = pairing(&p, &q);
+        assert_eq!(pairing(&p.neg(), &q), e.inverse());
+        assert!((pairing(&p, &q) * pairing(&p.neg(), &q)).is_identity());
+    }
+
+    #[test]
+    fn multi_pairing_matches_product() {
+        let mut r = rng();
+        let pairs_proj: Vec<(G1Affine, G2Affine)> = (0..4)
+            .map(|_| {
+                (
+                    G1Projective::random(&mut r).to_affine(),
+                    G2Projective::random(&mut r).to_affine(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&G1Affine, &G2Affine)> =
+            pairs_proj.iter().map(|(p, q)| (p, q)).collect();
+        let joint = multi_pairing(&refs);
+        let mut separate = Gt::identity();
+        for (p, q) in &pairs_proj {
+            separate *= pairing(p, q);
+        }
+        assert_eq!(joint, separate);
+    }
+
+    #[test]
+    fn multi_pairing_detects_cancellation() {
+        // e(P,Q) * e(-P,Q) = 1 through the shared loop.
+        let mut r = rng();
+        let p = G1Projective::random(&mut r).to_affine();
+        let q = G2Projective::random(&mut r).to_affine();
+        let np = p.neg();
+        assert!(multi_pairing(&[(&p, &q), (&np, &q)]).is_identity());
+    }
+
+    #[test]
+    fn gt_has_order_r() {
+        let e = Gt::generator();
+        // e^r = 1: exponentiation by the group order.
+        let r_minus_1 = Fr::zero() - Fr::one();
+        assert_eq!(e.pow(&r_minus_1) * e, Gt::identity());
+    }
+
+    #[test]
+    fn gt_pow_is_homomorphic() {
+        let mut r = rng();
+        let (a, b) = (Fr::random(&mut r), Fr::random(&mut r));
+        let e = Gt::generator();
+        assert_eq!(e.pow(&a) * e.pow(&b), e.pow(&(a + b)));
+        assert_eq!(e.pow(&a).pow(&b), e.pow(&(a * b)));
+    }
+}

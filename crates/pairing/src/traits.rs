@@ -1,0 +1,63 @@
+//! Abstractions shared by all field and group types in the crate.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::RngCore;
+
+/// A finite field.
+///
+/// Implemented by [`crate::Fp`], [`crate::Fr`], and the tower extensions
+/// [`crate::Fp2`], [`crate::Fp6`], [`crate::Fp12`]. All implementations are
+/// `Copy` value types with operator overloads, so generic code reads like
+/// ordinary arithmetic.
+pub trait Field:
+    Sized
+    + Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Eq
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Returns `true` for the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self * self`.
+    fn square(&self) -> Self;
+    /// `self + self`.
+    fn double(&self) -> Self;
+    /// Multiplicative inverse, `None` for zero.
+    fn invert(&self) -> Option<Self>;
+    /// Uniformly random element.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+
+    /// Variable-time exponentiation by little-endian `u64` limbs.
+    fn pow_vartime(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for e in exp.iter().rev() {
+            for i in (0..64).rev() {
+                if started {
+                    res = res.square();
+                }
+                if (*e >> i) & 1 == 1 {
+                    res *= *self;
+                    started = true;
+                }
+            }
+        }
+        res
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the arithmetic substrate: field axioms across
+//! the whole tower, group laws, scalar algebra, hash distribution, and
+//! encoding round-trips.
+
+use borndist_pairing::{
+    hash_to_fr, hash_to_g1, multi_pairing, pairing, Field, Fp, Fp12, Fp2, Fp6, Fr, G1Affine,
+    G1Projective, G2Affine, G2Projective, Gt,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng_from(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Checks the full commutative-ring axiom battery for one field type.
+fn ring_axioms<F: Field>(rng: &mut StdRng) {
+    let a = F::random(rng);
+    let b = F::random(rng);
+    let c = F::random(rng);
+    // Additive abelian group.
+    assert_eq!(a + b, b + a);
+    assert_eq!((a + b) + c, a + (b + c));
+    assert_eq!(a + F::zero(), a);
+    assert_eq!(a + (-a), F::zero());
+    // Multiplicative monoid, commutative.
+    assert_eq!(a * b, b * a);
+    assert_eq!((a * b) * c, a * (b * c));
+    assert_eq!(a * F::one(), a);
+    // Distributivity.
+    assert_eq!(a * (b + c), a * b + a * c);
+    // Derived ops agree.
+    assert_eq!(a.square(), a * a);
+    assert_eq!(a.double(), a + a);
+    // Inverse when defined.
+    if !a.is_zero() {
+        assert_eq!(a * a.invert().unwrap(), F::one());
+    }
+    // pow consistency: a^3 = a·a·a.
+    assert_eq!(a.pow_vartime(&[3]), a * a * a);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fp_is_a_field(seed in any::<u64>()) {
+        ring_axioms::<Fp>(&mut rng_from(seed));
+    }
+
+    #[test]
+    fn fr_is_a_field(seed in any::<u64>()) {
+        ring_axioms::<Fr>(&mut rng_from(seed));
+    }
+
+    #[test]
+    fn fp2_is_a_field(seed in any::<u64>()) {
+        ring_axioms::<Fp2>(&mut rng_from(seed));
+    }
+
+    #[test]
+    fn fp6_is_a_field(seed in any::<u64>()) {
+        ring_axioms::<Fp6>(&mut rng_from(seed));
+    }
+
+    #[test]
+    fn fp12_is_a_field(seed in any::<u64>()) {
+        ring_axioms::<Fp12>(&mut rng_from(seed));
+    }
+
+    /// Frobenius p² is a ring homomorphism of order dividing 6.
+    #[test]
+    fn frobenius_homomorphism(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let a = Fp12::random(&mut rng);
+        let b = Fp12::random(&mut rng);
+        prop_assert_eq!((a * b).frobenius_p2(), a.frobenius_p2() * b.frobenius_p2());
+        let mut x = a;
+        for _ in 0..6 { x = x.frobenius_p2(); }
+        prop_assert_eq!(x, a);
+    }
+
+    /// Sqrt in Fp and Fp2 round-trips on squares and respects signs.
+    #[test]
+    fn sqrt_roundtrips(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let a = Fp::random(&mut rng);
+        let r = a.square().sqrt().unwrap();
+        prop_assert!(r == a || r == -a);
+        let b = Fp2::random(&mut rng);
+        let r2 = b.square().sqrt().unwrap();
+        prop_assert!(r2 == b || r2 == -b);
+    }
+
+    /// Group laws on G1 and G2 with random points.
+    #[test]
+    fn group_laws(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let p = G1Projective::random(&mut rng);
+        let q = G1Projective::random(&mut rng);
+        let r = G1Projective::random(&mut rng);
+        prop_assert_eq!(p + q, q + p);
+        prop_assert_eq!((p + q) + r, p + (q + r));
+        prop_assert!((p - p).is_identity());
+        prop_assert!(p.is_on_curve());
+        prop_assert!((p + q).is_on_curve());
+        let s = G2Projective::random(&mut rng);
+        let t = G2Projective::random(&mut rng);
+        prop_assert_eq!(s + t, t + s);
+        prop_assert!((s + t).is_on_curve());
+    }
+
+    /// Scalar multiplication is a module action: (a+b)P = aP + bP and
+    /// (ab)P = a(bP).
+    #[test]
+    fn scalar_module_action(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let p = G1Projective::random(&mut rng);
+        prop_assert_eq!(p * (a + b), p * a + p * b);
+        prop_assert_eq!((p * a) * b, p * (a * b));
+        let q = G2Projective::random(&mut rng);
+        prop_assert_eq!(q * (a + b), q * a + q * b);
+    }
+
+    /// Pairing bilinearity and the inversion law on random points.
+    #[test]
+    fn pairing_laws(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let p = G1Projective::random(&mut rng);
+        let q = G2Projective::random(&mut rng);
+        let a = Fr::random(&mut rng);
+        let pa = (p * a).to_affine();
+        let paff = p.to_affine();
+        let qaff = q.to_affine();
+        prop_assert_eq!(pairing(&pa, &qaff), pairing(&paff, &qaff).pow(&a));
+        // e(P,Q)·e(-P,Q) = 1
+        let neg = paff.neg();
+        prop_assert!((pairing(&paff, &qaff) * pairing(&neg, &qaff)).is_identity());
+    }
+
+    /// multi_pairing equals the product of singles for 1..=3 pairs.
+    #[test]
+    fn multi_pairing_product_law(seed in any::<u64>(), k in 1usize..4) {
+        let mut rng = rng_from(seed);
+        let pairs: Vec<(G1Affine, G2Affine)> = (0..k)
+            .map(|_| (G1Projective::random(&mut rng).to_affine(),
+                       G2Projective::random(&mut rng).to_affine()))
+            .collect();
+        let refs: Vec<(&G1Affine, &G2Affine)> = pairs.iter().map(|(a, b)| (a, b)).collect();
+        let joint = multi_pairing(&refs);
+        let mut sep = Gt::identity();
+        for (a, b) in &pairs {
+            sep = sep * pairing(a, b);
+        }
+        prop_assert_eq!(joint, sep);
+    }
+
+    /// Encodings reject tampering: flipping any byte of a compressed
+    /// point either fails to decode or decodes to a different point.
+    #[test]
+    fn tampered_encodings_never_alias(seed in any::<u64>(), pos in 0usize..48, mask in 1u8..=255) {
+        let mut rng = rng_from(seed);
+        let p = G1Projective::random(&mut rng).to_affine();
+        let mut enc = p.to_compressed();
+        enc[pos] ^= mask;
+        match G1Affine::from_compressed(&enc) {
+            Err(_) => {},
+            Ok(decoded) => prop_assert_ne!(decoded, p),
+        }
+    }
+
+    /// Field serialization: to_bytes ∘ from_bytes = id and ordering of
+    /// canonical representatives is consistent.
+    #[test]
+    fn field_bytes_roundtrip(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let a = Fp::random(&mut rng);
+        prop_assert_eq!(Fp::from_bytes(&a.to_bytes()).unwrap(), a);
+        let s = Fr::random(&mut rng);
+        prop_assert_eq!(Fr::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    /// hash_to_g1 produces valid, torsion-free, distinct points.
+    #[test]
+    fn hash_to_curve_sound(m1 in any::<Vec<u8>>(), m2 in any::<Vec<u8>>()) {
+        let p = hash_to_g1(b"props", &m1);
+        prop_assert!(p.is_on_curve());
+        prop_assert!(p.is_torsion_free());
+        prop_assert!(!p.is_identity());
+        if m1 != m2 {
+            prop_assert_ne!(p, hash_to_g1(b"props", &m2));
+        }
+        // scalar hash is deterministic
+        prop_assert_eq!(hash_to_fr(b"props", &m1), hash_to_fr(b"props", &m1));
+    }
+}

@@ -1,0 +1,205 @@
+//! Lagrange interpolation — plain and "in the exponent".
+//!
+//! The `Combine` algorithm of every threshold scheme in this workspace is
+//! Lagrange interpolation at `x = 0` performed in a group: given partial
+//! signatures `σ_i = g^{P(i)}` for `i ∈ S`, the full signature is
+//! `Π σ_i^{Δ_{i,S}(0)} = g^{P(0)}`.
+
+use borndist_pairing::{msm, Affine, CurveParams, Fr, Projective};
+
+/// Errors arising from interpolation inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LagrangeError {
+    /// An index appears twice in the evaluation set.
+    DuplicateIndex(u32),
+    /// The index `0` is reserved for the secret and cannot be a share index.
+    ZeroIndex,
+    /// The input set is empty.
+    Empty,
+}
+
+impl core::fmt::Display for LagrangeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LagrangeError::DuplicateIndex(i) => write!(f, "duplicate share index {}", i),
+            LagrangeError::ZeroIndex => f.write_str("share index 0 is reserved for the secret"),
+            LagrangeError::Empty => f.write_str("empty interpolation set"),
+        }
+    }
+}
+
+impl std::error::Error for LagrangeError {}
+
+/// Computes the Lagrange coefficients `Δ_{i,S}(x)` for every `i ∈ S`,
+/// in the order of `indices`.
+///
+/// `Δ_{i,S}(x) = Π_{j ∈ S, j≠i} (x - j)/(i - j)`.
+pub fn lagrange_coefficients_at(indices: &[u32], x: Fr) -> Result<Vec<Fr>, LagrangeError> {
+    if indices.is_empty() {
+        return Err(LagrangeError::Empty);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &i in indices {
+        if i == 0 {
+            return Err(LagrangeError::ZeroIndex);
+        }
+        if !seen.insert(i) {
+            return Err(LagrangeError::DuplicateIndex(i));
+        }
+    }
+    let xs: Vec<Fr> = indices.iter().map(|&i| Fr::from_u64(i as u64)).collect();
+    let mut out = Vec::with_capacity(indices.len());
+    for (a, &xi) in xs.iter().enumerate() {
+        let mut num = Fr::one();
+        let mut den = Fr::one();
+        for (b, &xj) in xs.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            num *= x - xj;
+            den *= xi - xj;
+        }
+        let den_inv = den
+            .invert()
+            .expect("distinct non-zero indices give non-zero denominator");
+        out.push(num * den_inv);
+    }
+    Ok(out)
+}
+
+/// Lagrange coefficients at `x = 0` (secret recovery position).
+pub fn lagrange_coefficients_at_zero(indices: &[u32]) -> Result<Vec<Fr>, LagrangeError> {
+    lagrange_coefficients_at(indices, Fr::zero())
+}
+
+/// Interpolates the unique degree-`|points|-1` polynomial through
+/// `points = [(i, y_i)]` and evaluates it at `x`.
+pub fn interpolate_at(points: &[(u32, Fr)], x: Fr) -> Result<Fr, LagrangeError> {
+    let indices: Vec<u32> = points.iter().map(|(i, _)| *i).collect();
+    let coeffs = lagrange_coefficients_at(&indices, x)?;
+    Ok(points
+        .iter()
+        .zip(coeffs.iter())
+        .fold(Fr::zero(), |acc, ((_, y), c)| acc + *y * *c))
+}
+
+/// Interpolation *in the exponent* at `x = 0`: given group elements
+/// `Y_i = P(i)·G`, recovers `P(0)·G` via a multi-scalar multiplication.
+///
+/// This is the paper's `Combine` primitive.
+pub fn interpolate_in_exponent<C: CurveParams>(
+    points: &[(u32, Affine<C>)],
+) -> Result<Projective<C>, LagrangeError> {
+    let indices: Vec<u32> = points.iter().map(|(i, _)| *i).collect();
+    let coeffs = lagrange_coefficients_at_zero(&indices)?;
+    let bases: Vec<Affine<C>> = points.iter().map(|(_, p)| *p).collect();
+    Ok(msm(&bases, &coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::Polynomial;
+    use borndist_pairing::{G1Projective, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x1a91)
+    }
+
+    #[test]
+    fn coefficients_sum_property() {
+        // Interpolating the constant polynomial 1: coefficients sum to 1.
+        let coeffs = lagrange_coefficients_at_zero(&[1, 3, 7, 9]).unwrap();
+        let sum = coeffs.iter().fold(Fr::zero(), |a, c| a + *c);
+        assert_eq!(sum, Fr::one());
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial_values() {
+        let mut r = rng();
+        let p = Polynomial::random(4, &mut r);
+        let points: Vec<(u32, Fr)> = [2u32, 5, 6, 8, 11]
+            .iter()
+            .map(|&i| (i, p.evaluate_at_index(i)))
+            .collect();
+        assert_eq!(
+            interpolate_at(&points, Fr::zero()).unwrap(),
+            p.constant_term()
+        );
+        // Interpolation at an arbitrary point also matches.
+        let x = Fr::from_u64(31337);
+        assert_eq!(interpolate_at(&points, x).unwrap(), p.evaluate(x));
+    }
+
+    #[test]
+    fn subset_independence() {
+        let mut r = rng();
+        let p = Polynomial::random(2, &mut r);
+        let eval = |s: &[u32]| {
+            let pts: Vec<(u32, Fr)> = s.iter().map(|&i| (i, p.evaluate_at_index(i))).collect();
+            interpolate_at(&pts, Fr::zero()).unwrap()
+        };
+        assert_eq!(eval(&[1, 2, 3]), eval(&[4, 5, 6]));
+        assert_eq!(eval(&[1, 2, 3]), eval(&[2, 5, 9]));
+    }
+
+    #[test]
+    fn exponent_interpolation_matches_plain_g1() {
+        let mut r = rng();
+        let p = Polynomial::random(3, &mut r);
+        let g = G1Projective::generator();
+        let points: Vec<_> = [1u32, 2, 4, 6]
+            .iter()
+            .map(|&i| (i, g.mul(&p.evaluate_at_index(i)).to_affine()))
+            .collect();
+        let combined = interpolate_in_exponent(&points).unwrap();
+        assert_eq!(combined, g.mul(&p.constant_term()));
+    }
+
+    #[test]
+    fn exponent_interpolation_matches_plain_g2() {
+        let mut r = rng();
+        let p = Polynomial::random(2, &mut r);
+        let g = G2Projective::generator();
+        let points: Vec<_> = [3u32, 5, 9]
+            .iter()
+            .map(|&i| (i, g.mul(&p.evaluate_at_index(i)).to_affine()))
+            .collect();
+        let combined = interpolate_in_exponent(&points).unwrap();
+        assert_eq!(combined, g.mul(&p.constant_term()));
+    }
+
+    #[test]
+    fn too_few_points_give_wrong_secret() {
+        // t+1 points determine a degree-t polynomial; t points interpolate
+        // a DIFFERENT polynomial and (whp) the wrong secret.
+        let mut r = rng();
+        let p = Polynomial::random(3, &mut r);
+        let pts: Vec<(u32, Fr)> = [1u32, 2, 3]
+            .iter()
+            .map(|&i| (i, p.evaluate_at_index(i)))
+            .collect();
+        assert_ne!(
+            interpolate_at(&pts, Fr::zero()).unwrap(),
+            p.constant_term()
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            lagrange_coefficients_at_zero(&[]),
+            Err(LagrangeError::Empty)
+        );
+        assert_eq!(
+            lagrange_coefficients_at_zero(&[1, 2, 1]),
+            Err(LagrangeError::DuplicateIndex(1))
+        );
+        assert_eq!(
+            lagrange_coefficients_at_zero(&[0, 1]),
+            Err(LagrangeError::ZeroIndex)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: a key that is *born distributed*.
+//!
+//! Five servers run Pedersen's DKG over the simulated network (one active
+//! communication round), then any three of them sign a message without
+//! talking to each other; a stateless combiner assembles the signature.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use borndist::core::ro::ThresholdScheme;
+use borndist::shamir::ThresholdParams;
+use std::collections::BTreeMap;
+
+fn main() {
+    // (t, n) = (2, 5): tolerate 2 corrupted servers out of 5.
+    let params = ThresholdParams::new(2, 5).expect("valid parameters");
+    let scheme = ThresholdScheme::new(b"quickstart-deployment");
+
+    println!("== Dist-Keygen: 5 players, no trusted dealer ==");
+    let (km, metrics) = scheme
+        .dist_keygen(params, &BTreeMap::new(), 0xC0FFEE)
+        .expect("DKG succeeds with honest players");
+    println!(
+        "   qualified dealers: {:?}",
+        km.qualified.iter().collect::<Vec<_>>()
+    );
+    println!(
+        "   network: {} active round(s), {} messages, {} bytes",
+        metrics.active_rounds, metrics.messages, metrics.bytes
+    );
+    println!(
+        "   public key: ({}..., {}...)",
+        hex_prefix(&km.public_key.coords[0].to_compressed()),
+        hex_prefix(&km.public_key.coords[1].to_compressed())
+    );
+
+    let message = b"transfer 100 coins to carol";
+    println!("\n== Share-Sign: servers 1, 3, 5 sign independently ==");
+    let partials: Vec<_> = [1u32, 3, 5]
+        .iter()
+        .map(|i| {
+            let p = scheme.share_sign(&km.shares[i], message);
+            let ok = scheme.share_verify(&km.verification_keys[i], message, &p);
+            println!("   server {} partial signature valid: {}", i, ok);
+            p
+        })
+        .collect();
+
+    println!("\n== Combine: Lagrange interpolation in the exponent ==");
+    let signature = scheme
+        .combine(&params, &partials)
+        .expect("t+1 = 3 valid partials");
+    println!(
+        "   signature: ({}..., {}...)  [{} bytes compressed]",
+        hex_prefix(&signature.sig.z.to_compressed()),
+        hex_prefix(&signature.sig.r.to_compressed()),
+        96
+    );
+
+    println!("\n== Verify: product of four pairings ==");
+    let valid = scheme.verify(&km.public_key, message, &signature);
+    println!("   signature verifies: {}", valid);
+    assert!(valid);
+
+    // A different quorum produces the *same* signature (determinism).
+    let partials2: Vec<_> = [2u32, 4, 5]
+        .iter()
+        .map(|i| scheme.share_sign(&km.shares[i], message))
+        .collect();
+    let signature2 = scheme.combine(&params, &partials2).unwrap();
+    assert_eq!(signature, signature2);
+    println!("   any quorum yields the identical signature: true");
+
+    // Two shares are not enough.
+    assert!(scheme.combine(&params, &partials[..2]).is_err());
+    println!("   t = 2 shares alone cannot sign: true");
+}
+
+fn hex_prefix(bytes: &[u8]) -> String {
+    bytes.iter().take(6).map(|b| format!("{:02x}", b)).collect()
+}

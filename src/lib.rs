@@ -1,0 +1,32 @@
+//! # borndist
+//!
+//! A from-scratch Rust reproduction of **"Born and Raised Distributively:
+//! Fully Distributed Non-Interactive Adaptively-Secure Threshold
+//! Signatures with Short Shares"** (Benoît Libert, Marc Joye, Moti Yung —
+//! PODC 2014).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`pairing`] | BLS12-381 fields, groups, Tate pairing, hash-to-curve, SHA-256 — all built here, no external crypto |
+//! | [`shamir`] | polynomials, Lagrange (plain & in-the-exponent), Feldman / Pedersen / triple VSS |
+//! | [`net`] | the paper's communication model as a deterministic round simulator with fault injection and traffic metering |
+//! | [`dkg`] | Pedersen distributed key generation (§3.1) with complaints, disqualification, proactive refresh (§3.3) and share recovery |
+//! | [`lhsps`] | one-time linearly homomorphic structure-preserving signatures (§2.3, Appendices C–D) |
+//! | [`grothsahai`] | SXDH Groth–Sahai NIWI proofs for linear pairing-product equations (§4, Appendix A) |
+//! | [`core`] | the paper's schemes: §3 ROM, Appendix G aggregation, Appendix F DLIN, §4 standard model, §3.3 proactive epochs |
+//! | [`baselines`] | plain BLS, Boldyreva threshold BLS, additive-reshare (ADN-style) scheme, RSA size constants |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
+//! architecture and experiment index, and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+pub use borndist_baselines as baselines;
+pub use borndist_core as core;
+pub use borndist_dkg as dkg;
+pub use borndist_grothsahai as grothsahai;
+pub use borndist_lhsps as lhsps;
+pub use borndist_net as net;
+pub use borndist_pairing as pairing;
+pub use borndist_shamir as shamir;

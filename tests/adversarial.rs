@@ -1,0 +1,182 @@
+//! Adversarial integration tests: Byzantine players during key
+//! generation, corrupted partial signatures during signing, threshold
+//! violations, and mobile adversaries across proactive epochs.
+
+use borndist::core::proactive::ProactiveDeployment;
+use borndist::core::ro::{CombineError, PartialSignature, ThresholdScheme};
+use borndist::dkg::Behavior;
+use borndist::shamir::ThresholdParams;
+use std::collections::BTreeMap;
+
+#[test]
+fn maximal_byzantine_dkg_still_yields_working_key() {
+    // t = 2 of n = 7 players are actively malicious in different ways.
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-dkg");
+    let mut behaviors = BTreeMap::new();
+    behaviors.insert(
+        2u32,
+        Behavior {
+            corrupt_shares_to: [1u32, 4, 6].into_iter().collect(),
+            refuse_answers: true,
+            ..Default::default()
+        },
+    );
+    behaviors.insert(
+        5u32,
+        Behavior {
+            bad_commitment_width: true,
+            ..Default::default()
+        },
+    );
+    let (km, _) = scheme.dist_keygen(params, &behaviors, 21).unwrap();
+    assert!(!km.qualified.contains(&2));
+    assert!(!km.qualified.contains(&5));
+    assert_eq!(km.qualified.len(), 5);
+
+    // Honest players sign; the key works.
+    let msg = b"survived the byzantine birth";
+    let partials: Vec<PartialSignature> = [1u32, 3, 6]
+        .iter()
+        .map(|i| scheme.share_sign(&km.shares[i], msg))
+        .collect();
+    let sig = scheme.combine(&params, &partials).unwrap();
+    assert!(scheme.verify(&km.public_key, msg, &sig));
+}
+
+#[test]
+fn corrupted_partials_filtered_not_fatal() {
+    // Robustness (the paper's non-interactive story): the combiner sees
+    // n partials, t of them garbage, and still outputs a valid signature
+    // with no extra round.
+    let params = ThresholdParams::new(2, 5).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-sign");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    use rand::SeedableRng;
+    let km = scheme.dealer_keygen(params, &mut rng);
+    let msg = b"robust";
+    let mut partials: Vec<PartialSignature> = (1..=5u32)
+        .map(|i| scheme.share_sign(&km.shares[&i], msg))
+        .collect();
+    // Corrupt exactly t = 2.
+    partials[1].sig.z = partials[0].sig.z;
+    partials[4].sig.r = partials[0].sig.r;
+    let sig = scheme
+        .combine_verified(&params, &km.verification_keys, msg, &partials)
+        .unwrap();
+    assert!(scheme.verify(&km.public_key, msg, &sig));
+}
+
+#[test]
+fn naive_combine_with_garbage_caught_by_final_verify() {
+    // If the combiner skips Share-Verify, the result fails Verify — the
+    // system is never tricked into accepting a bad signature.
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-naive");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    use rand::SeedableRng;
+    let km = scheme.dealer_keygen(params, &mut rng);
+    let msg = b"trusting combiner";
+    let mut partials: Vec<PartialSignature> = (1..=2u32)
+        .map(|i| scheme.share_sign(&km.shares[&i], msg))
+        .collect();
+    partials[0].sig.z = partials[1].sig.r;
+    let sig = scheme.combine(&params, &partials).unwrap();
+    assert!(!scheme.verify(&km.public_key, msg, &sig));
+}
+
+#[test]
+fn threshold_is_enforced_everywhere() {
+    let params = ThresholdParams::new(2, 5).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-threshold");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    use rand::SeedableRng;
+    let km = scheme.dealer_keygen(params, &mut rng);
+    let msg = b"two is not three";
+    let partials: Vec<PartialSignature> = (1..=2u32)
+        .map(|i| scheme.share_sign(&km.shares[&i], msg))
+        .collect();
+    assert_eq!(
+        scheme.combine(&params, &partials),
+        Err(CombineError::NotEnoughShares { have: 2, need: 3 })
+    );
+    // Duplicated indices cannot fake a quorum.
+    let dup = vec![partials[0], partials[1], partials[1]];
+    assert_eq!(
+        scheme.combine(&params, &dup),
+        Err(CombineError::BadIndices)
+    );
+}
+
+#[test]
+fn mobile_adversary_defeated_by_refresh() {
+    let params = ThresholdParams::new(2, 5).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-mobile");
+    let (km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 31).unwrap();
+    let mut dep = ProactiveDeployment::new(scheme, km);
+
+    // Epoch 0: adversary takes shares of players 1, 2.
+    let stolen_epoch0: Vec<_> = [1u32, 2]
+        .iter()
+        .map(|i| dep.material().shares[i].clone())
+        .collect();
+    dep.advance_epoch(&BTreeMap::new(), 32).unwrap();
+    // Epoch 1: adversary takes share of player 3 (fresh).
+    let stolen_epoch1 = dep.material().shares[&3].clone();
+
+    // 3 shares total — nominally a quorum — but from mixed epochs.
+    let msg = b"forgery attempt";
+    let mut forged: Vec<PartialSignature> = stolen_epoch0
+        .iter()
+        .map(|s| dep.scheme().share_sign(s, msg))
+        .collect();
+    forged.push(dep.scheme().share_sign(&stolen_epoch1, msg));
+    let sig = dep
+        .scheme()
+        .combine(&dep.material().params, &forged)
+        .unwrap();
+    // The mixed-epoch combination is NOT a valid signature.
+    assert!(!dep
+        .scheme()
+        .verify(&dep.material().public_key, msg, &sig));
+    // And the stale partials individually fail share verification.
+    for s in &stolen_epoch0 {
+        let p = dep.scheme().share_sign(s, msg);
+        assert!(!dep.scheme().share_verify(
+            &dep.material().verification_keys[&s.index],
+            msg,
+            &p
+        ));
+    }
+}
+
+#[test]
+fn byzantine_refresh_dealer_cannot_shift_the_key() {
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let scheme = ThresholdScheme::new(b"adv-refresh");
+    let (km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 41).unwrap();
+    let pk = km.public_key.clone();
+    let mut dep = ProactiveDeployment::new(scheme, km);
+    // Player 2 tries to sneak a non-zero secret into the refresh.
+    let mut behaviors = BTreeMap::new();
+    behaviors.insert(
+        2u32,
+        Behavior {
+            nonzero_refresh: true,
+            ..Default::default()
+        },
+    );
+    dep.advance_epoch(&behaviors, 42).unwrap();
+    assert_eq!(dep.material().public_key, pk, "public key must not move");
+    // Signing still works with honest players.
+    let msg = b"key stayed put";
+    let partials: Vec<PartialSignature> = [1u32, 3]
+        .iter()
+        .map(|i| dep.scheme().share_sign(&dep.material().shares[i], msg))
+        .collect();
+    let sig = dep
+        .scheme()
+        .combine(&dep.material().params, &partials)
+        .unwrap();
+    assert!(dep.scheme().verify(&dep.material().public_key, msg, &sig));
+}

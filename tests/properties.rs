@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the workspace invariants:
+//! secret-sharing round-trips, homomorphisms, Lagrange identities,
+//! serialization, and scheme-level determinism.
+
+use borndist::lhsps::{DpParams, OneTimeSecretKey};
+use borndist::pairing::{Fr, G1Projective, G2Projective, Gt, pairing};
+use borndist::shamir::{
+    interpolate_at, lagrange_coefficients_at_zero, reconstruct, share, Polynomial, Share,
+    ThresholdParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a deterministic RNG seed.
+fn seeds() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// share ∘ reconstruct = id, on arbitrary (t, n) and subset choice.
+    #[test]
+    fn shamir_roundtrip(seed in seeds(), t in 0usize..6, extra in 1usize..5, skip in 0usize..3) {
+        let n = 2 * t + extra.max(1);
+        let params = ThresholdParams::new(t, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Fr::random(&mut rng);
+        let (shares, _) = share(secret, params, &mut rng);
+        // Take t+1 shares starting at an arbitrary offset.
+        let subset: Vec<Share> = shares
+            .iter()
+            .cycle()
+            .skip(skip)
+            .take(t + 1)
+            .copied()
+            .collect();
+        prop_assert_eq!(reconstruct(&subset).unwrap(), secret);
+    }
+
+    /// Lagrange coefficients at zero sum to one (they interpolate the
+    /// constant-1 polynomial).
+    #[test]
+    fn lagrange_partition_of_unity(indices in proptest::collection::btree_set(1u32..200, 1..8)) {
+        let v: Vec<u32> = indices.into_iter().collect();
+        let coeffs = lagrange_coefficients_at_zero(&v).unwrap();
+        let sum = coeffs.iter().fold(Fr::zero(), |a, c| a + *c);
+        prop_assert_eq!(sum, Fr::one());
+    }
+
+    /// Polynomial evaluation is linear: (P + Q)(x) = P(x) + Q(x).
+    #[test]
+    fn polynomial_addition_pointwise(seed in seeds(), d1 in 0usize..6, d2 in 0usize..6, x in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Polynomial::random(d1, &mut rng);
+        let q = Polynomial::random(d2, &mut rng);
+        let xf = Fr::from_u64(x);
+        prop_assert_eq!(p.add(&q).evaluate(xf), p.evaluate(xf) + q.evaluate(xf));
+    }
+
+    /// Interpolation through d+1 points reproduces the polynomial
+    /// everywhere.
+    #[test]
+    fn interpolation_extends_correctly(seed in seeds(), d in 0usize..5, probe in 1u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Polynomial::random(d, &mut rng);
+        let pts: Vec<(u32, Fr)> = (1..=(d as u32 + 1))
+            .map(|i| (i, p.evaluate_at_index(i)))
+            .collect();
+        let x = Fr::from_u64(probe);
+        prop_assert_eq!(interpolate_at(&pts, x).unwrap(), p.evaluate(x));
+    }
+
+    /// LHSPS linear homomorphism: a derived signature on the weighted
+    /// message combination verifies.
+    #[test]
+    fn lhsps_linear_homomorphism(seed in seeds()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let sk = OneTimeSecretKey::random(2, &mut rng);
+        let pk = sk.public_key(&params);
+        let m1: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let m2: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let (w1, w2) = (Fr::random(&mut rng), Fr::random(&mut rng));
+        let derived = borndist::lhsps::sign_derive(&[(w1, &sk.sign(&m1)), (w2, &sk.sign(&m2))]);
+        let combo: Vec<G1Projective> = m1.iter().zip(m2.iter())
+            .map(|(a, b)| a.mul(&w1) + b.mul(&w2))
+            .collect();
+        prop_assert!(pk.verify(&params, &combo, &derived));
+    }
+
+    /// LHSPS key homomorphism: sum-key signatures equal products of
+    /// per-key signatures.
+    #[test]
+    fn lhsps_key_homomorphism(seed in seeds()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = DpParams::random(&mut rng);
+        let sk1 = OneTimeSecretKey::random(2, &mut rng);
+        let sk2 = OneTimeSecretKey::random(2, &mut rng);
+        let msg: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
+        let (s1, s2) = (sk1.sign(&msg), sk2.sign(&msg));
+        let product = borndist::lhsps::OneTimeSignature {
+            z: (s1.z.to_projective().add_affine(&s2.z)).to_affine(),
+            r: (s1.r.to_projective().add_affine(&s2.r)).to_affine(),
+        };
+        prop_assert_eq!(sk1.add(&sk2).sign(&msg), product);
+    }
+
+    /// Pairing bilinearity on random scalars.
+    #[test]
+    fn pairing_bilinearity(seed in seeds()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+        let p = (G1Projective::generator() * a).to_affine();
+        let q = (G2Projective::generator() * b).to_affine();
+        prop_assert_eq!(pairing(&p, &q), Gt::generator().pow(&(a * b)));
+    }
+
+    /// Group serialization round-trips for random points.
+    #[test]
+    fn point_serialization_roundtrip(seed in seeds()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = G1Projective::random(&mut rng).to_affine();
+        let q = G2Projective::random(&mut rng).to_affine();
+        prop_assert_eq!(
+            borndist::pairing::G1Affine::from_compressed(&p.to_compressed()).unwrap(), p);
+        prop_assert_eq!(
+            borndist::pairing::G2Affine::from_compressed(&q.to_compressed()).unwrap(), q);
+        prop_assert_eq!(
+            borndist::pairing::G1Affine::from_uncompressed(&p.to_uncompressed()).unwrap(), p);
+    }
+
+    /// Field serialization and arithmetic consistency.
+    #[test]
+    fn fr_bytes_roundtrip_and_ring_ops(seed in seeds()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+        prop_assert_eq!(Fr::from_bytes(&a.to_bytes()).unwrap(), a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) - b, a);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.invert().unwrap(), Fr::one());
+        }
+    }
+}
+
+proptest! {
+    // Scheme-level properties are expensive (pairings); fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Threshold signature determinism/uniqueness: any two quorums
+    /// produce the identical signature.
+    #[test]
+    fn scheme_quorum_independence(seed in seeds()) {
+        use borndist::core::ro::ThresholdScheme;
+        let params = ThresholdParams::new(1, 5).unwrap();
+        let scheme = ThresholdScheme::new(b"prop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let km = scheme.dealer_keygen(params, &mut rng);
+        let msg = seed.to_be_bytes();
+        let partials: Vec<_> = (1..=5u32)
+            .map(|i| scheme.share_sign(&km.shares[&i], &msg))
+            .collect();
+        let s1 = scheme.combine(&params, &partials[0..2]).unwrap();
+        let s2 = scheme.combine(&params, &partials[3..5]).unwrap();
+        prop_assert_eq!(s1, s2);
+        prop_assert!(scheme.verify(&km.public_key, &msg, &s1));
+    }
+}
