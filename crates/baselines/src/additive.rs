@@ -18,9 +18,7 @@
 //! scheme in the benchmark suite shares a substrate (see DESIGN.md,
 //! "Substitutions").
 
-use borndist_pairing::{
-    hash_to_g1, msm, multi_pairing, Fr, G1Affine, G2Affine, G2Projective,
-};
+use borndist_pairing::{hash_to_g1, msm, multi_pairing, Fr, G1Affine, G2Affine, G2Projective};
 use borndist_shamir::{
     lagrange_coefficients_at_zero, FeldmanCommitment, Polynomial, ThresholdParams,
 };
@@ -248,11 +246,8 @@ mod tests {
     fn all_present_single_round() {
         let km = setup(1, 4);
         let msg = b"everyone showed up";
-        let contributions: Vec<AddContribution> = km
-            .players
-            .values()
-            .map(|p| contribute(p, msg))
-            .collect();
+        let contributions: Vec<AddContribution> =
+            km.players.values().map(|p| contribute(p, msg)).collect();
         for c in &contributions {
             assert!(contribution_valid(&km, msg, c));
         }
@@ -317,11 +312,8 @@ mod tests {
     fn duplicate_contributions_rejected() {
         let km = setup(1, 4);
         let msg = b"dup";
-        let mut contributions: Vec<AddContribution> = km
-            .players
-            .values()
-            .map(|p| contribute(p, msg))
-            .collect();
+        let mut contributions: Vec<AddContribution> =
+            km.players.values().map(|p| contribute(p, msg)).collect();
         contributions.push(contributions[0]);
         assert!(combine(&km, &contributions).is_none());
     }

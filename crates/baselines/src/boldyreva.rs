@@ -11,9 +11,7 @@
 //! scheme pays 2× in signature size and share size for adaptive security
 //! with Pedersen's cheaper DKG.
 
-use borndist_pairing::{
-    hash_to_g1, multi_pairing, Fr, G1Affine, G2Affine, G2Projective,
-};
+use borndist_pairing::{hash_to_g1, multi_pairing, Fr, G1Affine, G2Affine, G2Projective};
 use borndist_shamir::{
     lagrange_coefficients_at_zero, FeldmanCommitment, Polynomial, ThresholdParams,
 };
@@ -76,10 +74,7 @@ pub struct TblsKeyMaterial {
 /// Dealer key generation (Boldyreva assumes a trusted dealer or a
 /// Gennaro-et-al. DKG; we provide the dealer and an honest-path
 /// Feldman-sum DKG below).
-pub fn dealer_keygen<R: RngCore + ?Sized>(
-    params: ThresholdParams,
-    rng: &mut R,
-) -> TblsKeyMaterial {
+pub fn dealer_keygen<R: RngCore + ?Sized>(params: ThresholdParams, rng: &mut R) -> TblsKeyMaterial {
     let poly = Polynomial::random(params.t, rng);
     assemble(params, &[poly])
 }
@@ -160,7 +155,10 @@ pub fn share_verify(vk: &TblsVerificationKey, msg: &[u8], psig: &TblsPartialSign
 ///
 /// Returns `None` when fewer than `t+1` shares are given or indices are
 /// invalid.
-pub fn combine(params: &ThresholdParams, partials: &[TblsPartialSignature]) -> Option<TblsSignature> {
+pub fn combine(
+    params: &ThresholdParams,
+    partials: &[TblsPartialSignature],
+) -> Option<TblsSignature> {
     if partials.len() < params.reconstruction_size() {
         return None;
     }

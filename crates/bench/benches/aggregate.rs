@@ -10,10 +10,7 @@ use borndist_shamir::ThresholdParams;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-fn setup(l: usize) -> (
-    AggregateScheme,
-    Vec<(AggPublicKey, Vec<u8>, Signature)>,
-) {
+fn setup(l: usize) -> (AggregateScheme, Vec<(AggPublicKey, Vec<u8>, Signature)>) {
     let scheme = AggregateScheme::new(b"bench-agg");
     let params = ThresholdParams::new(1, 4).unwrap();
     let mut rng = bench_rng();
@@ -47,11 +44,7 @@ fn bench_aggregate(c: &mut Criterion) {
             b.iter(|| scheme.aggregate_verify(&statements, &agg))
         });
         g.bench_with_input(BenchmarkId::new("individual_verify", l), &l, |b, _| {
-            b.iter(|| {
-                inputs
-                    .iter()
-                    .all(|(pk, m, s)| scheme.verify(pk, m, s))
-            })
+            b.iter(|| inputs.iter().all(|(pk, m, s)| scheme.verify(pk, m, s)))
         });
     }
     g.finish();

@@ -30,8 +30,7 @@ fn bench_pairing(c: &mut Criterion) {
             .collect();
         g.bench_function(format!("product_of_{}", k), |b| {
             b.iter(|| {
-                let refs: Vec<(&G1Affine, &G2Affine)> =
-                    pairs.iter().map(|(x, y)| (x, y)).collect();
+                let refs: Vec<(&G1Affine, &G2Affine)> = pairs.iter().map(|(x, y)| (x, y)).collect();
                 multi_pairing(&refs)
             })
         });
@@ -52,8 +51,12 @@ fn bench_group_ops(c: &mut Criterion) {
     g.bench_function("g2_scalar_mul", |b| {
         b.iter(|| G2Projective::generator() * s)
     });
-    g.bench_function("hash_to_g1", |b| b.iter(|| hash_to_g1(b"bench", b"message")));
-    g.bench_function("hash_to_g2", |b| b.iter(|| hash_to_g2(b"bench", b"message")));
+    g.bench_function("hash_to_g1", |b| {
+        b.iter(|| hash_to_g1(b"bench", b"message"))
+    });
+    g.bench_function("hash_to_g2", |b| {
+        b.iter(|| hash_to_g2(b"bench", b"message"))
+    });
     // The signing inner loop: a 2-base multi-exponentiation.
     let bases: Vec<G1Affine> = (0..2)
         .map(|_| G1Projective::random(&mut rng).to_affine())

@@ -55,12 +55,10 @@ fn bench_faulty_signing(c: &mut Criterion) {
                     let backups: Vec<additive::BackupContribution> = alive[..T + 1]
                         .iter()
                         .map(|j| {
-                            additive::backup_contribute(&akm.players[j], missing, MESSAGE)
-                                .unwrap()
+                            additive::backup_contribute(&akm.players[j], missing, MESSAGE).unwrap()
                         })
                         .collect();
-                    contributions
-                        .push(additive::reconstruct_missing(&params, &backups).unwrap());
+                    contributions.push(additive::reconstruct_missing(&params, &backups).unwrap());
                 }
                 additive::combine(&akm, &contributions).unwrap()
             })

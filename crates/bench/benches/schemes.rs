@@ -77,7 +77,11 @@ fn bench_all_schemes(c: &mut Criterion) {
     });
     g.bench_function("std/combine", |b| {
         let mut r = bench_rng();
-        b.iter(|| std_s.combine(&params, MESSAGE, &std_partials, &mut r).unwrap())
+        b.iter(|| {
+            std_s
+                .combine(&params, MESSAGE, &std_partials, &mut r)
+                .unwrap()
+        })
     });
 
     g.bench_function("boldyreva/share_sign", |b| {

@@ -27,7 +27,9 @@ fn bench_ro_scheme(c: &mut Criterion) {
     g.bench_function("share_verify", |b| {
         b.iter(|| scheme.share_verify(&km.verification_keys[&1], MESSAGE, &partial))
     });
-    g.bench_function("combine_t5", |b| b.iter(|| scheme.combine(&km.params, &partials)));
+    g.bench_function("combine_t5", |b| {
+        b.iter(|| scheme.combine(&km.params, &partials))
+    });
     g.bench_function("verify", |b| {
         b.iter(|| scheme.verify(&km.public_key, MESSAGE, &sig))
     });

@@ -182,10 +182,7 @@ impl AggregateScheme {
             }
         }
         let master = OneTimeSecretKey { chi, gamma };
-        let w = master.sign(&[
-            self.bases.g.to_projective(),
-            self.bases.h.to_projective(),
-        ]);
+        let w = master.sign(&[self.bases.g.to_projective(), self.bases.h.to_projective()]);
         let pk = AggPublicKey {
             coords: material.public_key.coords,
             z: w.z,
@@ -309,10 +306,8 @@ impl AggregateScheme {
             .iter()
             .map(|(pk, msg)| G1Projective::batch_to_affine(&self.hash_message(pk, msg)))
             .collect();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> = vec![
-            (&agg.z, &self.params.g_z),
-            (&agg.r, &self.params.g_r),
-        ];
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
+            vec![(&agg.z, &self.params.g_z), (&agg.r, &self.params.g_r)];
         for ((pk, _), h) in statements.iter().zip(hashes.iter()) {
             pairs.push((&h[0], &pk.coords[0]));
             pairs.push((&h[1], &pk.coords[1]));
@@ -433,7 +428,10 @@ mod tests {
             })
             .collect();
         let agg = scheme.aggregate(&inputs).unwrap();
-        let statements: Vec<_> = inputs.iter().map(|(p, m, _)| (p.clone(), m.clone())).collect();
+        let statements: Vec<_> = inputs
+            .iter()
+            .map(|(p, m, _)| (p.clone(), m.clone()))
+            .collect();
         assert!(scheme.aggregate_verify(&statements, &agg));
     }
 

@@ -166,7 +166,9 @@ impl DlinScheme {
             for sharing in dealer {
                 for i in 1..=params.n as u32 {
                     assert!(
-                        sharing.commitment.verify_share(&bases, &sharing.share_for(i)),
+                        sharing
+                            .commitment
+                            .verify_share(&bases, &sharing.share_for(i)),
                         "honest dealer share must verify"
                     );
                 }

@@ -230,7 +230,9 @@ mod tests {
             let partials: Vec<PartialSignature> = (1..=3u32)
                 .map(|i| dep.scheme().share_sign(&dep.material().shares[&i], msg))
                 .collect();
-            dep.scheme().combine(&dep.material().params, &partials).unwrap()
+            dep.scheme()
+                .combine(&dep.material().params, &partials)
+                .unwrap()
         };
 
         dep.advance_epoch(&BTreeMap::new(), 1001).unwrap();
@@ -246,7 +248,9 @@ mod tests {
             .scheme()
             .combine(&dep.material().params, &partials)
             .unwrap();
-        assert!(dep.scheme().verify(&dep.material().public_key, msg, &sig_after));
+        assert!(dep
+            .scheme()
+            .verify(&dep.material().public_key, msg, &sig_after));
         assert_eq!(sig_before, sig_after);
     }
 
@@ -312,7 +316,10 @@ mod tests {
         let partials: Vec<PartialSignature> = (1..=3u32)
             .map(|i| dep.scheme().share_sign(&dep.material().shares[&i], msg))
             .collect();
-        let sig = dep.scheme().combine(&dep.material().params, &partials).unwrap();
+        let sig = dep
+            .scheme()
+            .combine(&dep.material().params, &partials)
+            .unwrap();
         assert!(dep.scheme().verify(&dep.material().public_key, msg, &sig));
     }
 }

@@ -197,7 +197,8 @@ impl ThresholdScheme {
             mode: SharingMode::Fresh,
             aggregate: None,
         };
-        let (outputs, metrics) = run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
+        let (outputs, metrics) =
+            run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
         let material = self.assemble(params, &outputs, behaviors)?;
         Ok((material, metrics))
     }
@@ -275,10 +276,15 @@ impl ThresholdScheme {
             },
         };
         // Share each of the four scalars with a degree-t polynomial.
-        let polys: Vec<Polynomial> = [master.chi[0], master.chi[1], master.gamma[0], master.gamma[1]]
-            .iter()
-            .map(|s| Polynomial::random_with_constant(*s, params.t, rng))
-            .collect();
+        let polys: Vec<Polynomial> = [
+            master.chi[0],
+            master.chi[1],
+            master.gamma[0],
+            master.gamma[1],
+        ]
+        .iter()
+        .map(|s| Polynomial::random_with_constant(*s, params.t, rng))
+        .collect();
         let bases = self.pedersen_bases();
         // Commitments for refresh/recovery compatibility: per k,
         // commit (A_k, B_k) coefficient-wise.
@@ -331,12 +337,7 @@ impl ThresholdScheme {
 
     /// `Share-Verify`: checks `σ_i` against `V K_i` — a product of four
     /// pairings.
-    pub fn share_verify(
-        &self,
-        vk: &VerificationKey,
-        msg: &[u8],
-        psig: &PartialSignature,
-    ) -> bool {
+    pub fn share_verify(&self, vk: &VerificationKey, msg: &[u8], psig: &PartialSignature) -> bool {
         if vk.index != psig.index {
             return false;
         }

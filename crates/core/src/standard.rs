@@ -26,9 +26,7 @@ use borndist_dkg::{run_dkg, Behavior, DkgConfig, SharingMode};
 use borndist_grothsahai as gs;
 use borndist_lhsps::DpParams;
 use borndist_net::Metrics;
-use borndist_pairing::{
-    hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G2Affine, G2Projective,
-};
+use borndist_pairing::{hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G2Affine, G2Projective};
 use borndist_shamir::{
     lagrange_coefficients_at_zero, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
 };
@@ -202,7 +200,8 @@ impl StandardScheme {
             mode: SharingMode::Fresh,
             aggregate: None,
         };
-        let (outputs, metrics) = run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
+        let (outputs, metrics) =
+            run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
         let reference = outputs
             .iter()
             .filter(|(id, _)| behaviors.get(id).is_none_or(Behavior::is_honest))
@@ -261,8 +260,11 @@ impl StandardScheme {
             g_z: self.params.dp.g_z,
             g_r: self.params.dp.g_r,
         };
-        let sharing =
-            borndist_shamir::PedersenSharing::from_polynomials(&bases, poly_a.clone(), poly_b.clone());
+        let sharing = borndist_shamir::PedersenSharing::from_polynomials(
+            &bases,
+            poly_a.clone(),
+            poly_b.clone(),
+        );
         let public_key = StdPublicKey {
             g1: sharing.commitment.constant_commitment(),
         };
@@ -303,10 +305,7 @@ impl StandardScheme {
         let r = g.mul(&(-share.b));
         let (c_z, rand_z) = crs.commit(&z, rng);
         let (c_r, rand_r) = crs.commit(&r, rng);
-        let proof = gs::prove(
-            &[self.params.dp.g_z, self.params.dp.g_r],
-            &[rand_z, rand_r],
-        );
+        let proof = gs::prove(&[self.params.dp.g_z, self.params.dp.g_r], &[rand_z, rand_r]);
         StdPartialSignature {
             index: share.index,
             c_z,
@@ -377,10 +376,8 @@ impl StandardScheme {
             .iter()
             .map(|p| (vec![p.c_z, p.c_r], &p.proof))
             .collect();
-        let tuple_refs: Vec<(&[gs::Commitment], &gs::Proof)> = tuples
-            .iter()
-            .map(|(cs, p)| (cs.as_slice(), *p))
-            .collect();
+        let tuple_refs: Vec<(&[gs::Commitment], &gs::Proof)> =
+            tuples.iter().map(|(cs, p)| (cs.as_slice(), *p)).collect();
         let (combined, proof) = gs::combine_weighted(&tuple_refs, &weights);
         // Re-randomize on the message CRS.
         let digest = self.message_digest(msg);
@@ -474,12 +471,8 @@ mod tests {
         let all: Vec<StdPartialSignature> = (1..=5u32)
             .map(|i| scheme.share_sign(&km.shares[&i], msg, &mut r))
             .collect();
-        let s1 = scheme
-            .combine(&km.params, msg, &all[0..2], &mut r)
-            .unwrap();
-        let s2 = scheme
-            .combine(&km.params, msg, &all[3..5], &mut r)
-            .unwrap();
+        let s1 = scheme.combine(&km.params, msg, &all[0..2], &mut r).unwrap();
+        let s2 = scheme.combine(&km.params, msg, &all[3..5], &mut r).unwrap();
         // Signatures are randomized so not equal, but both verify.
         assert_ne!(s1, s2);
         assert!(scheme.verify(&km.public_key, msg, &s1));

@@ -60,7 +60,11 @@ fn message_extremes() {
             .map(|i| scheme.share_sign(&km.shares[&i], &msg))
             .collect();
         let sig = scheme.combine(&params, &partials).unwrap();
-        assert!(scheme.verify(&km.public_key, &msg, &sig), "len={}", msg.len());
+        assert!(
+            scheme.verify(&km.public_key, &msg, &sig),
+            "len={}",
+            msg.len()
+        );
     }
 }
 
@@ -148,7 +152,9 @@ fn standard_scheme_distinguishes_digest_prefixes() {
     let partials: Vec<_> = (1..=2u32)
         .map(|i| scheme.share_sign(&km.shares[&i], b"alpha", &mut rng))
         .collect();
-    let sig = scheme.combine(&params, b"alpha", &partials, &mut rng).unwrap();
+    let sig = scheme
+        .combine(&params, b"alpha", &partials, &mut rng)
+        .unwrap();
     assert!(scheme.verify(&km.public_key, b"alpha", &sig));
     assert!(!scheme.verify(&km.public_key, b"beta", &sig));
     // Partial signatures are also message-bound.
@@ -176,7 +182,9 @@ fn serde_roundtrip_of_all_public_artifacts() {
     let km = scheme.dealer_keygen(params, &mut rng);
     let msg = b"serialize me";
     let p = scheme.share_sign(&km.shares[&1], msg);
-    let sig = scheme.combine(&params, &[p, scheme.share_sign(&km.shares[&2], msg)]).unwrap();
+    let sig = scheme
+        .combine(&params, &[p, scheme.share_sign(&km.shares[&2], msg)])
+        .unwrap();
 
     macro_rules! roundtrip {
         ($v:expr, $t:ty) => {{

@@ -43,7 +43,7 @@ pub mod refresh;
 pub use messages::{AggregateWitness, DkgMessage};
 pub use player::{
     run_dkg, standard_config, AggregateBases, Behavior, DkgAbort, DkgConfig, DkgOutput, DkgPlayer,
-    SharingMode,
+    SharingMode, SimulatedRunResult,
 };
 pub use recovery::{recover_share, Helper, RecoveryError};
 pub use refresh::{apply_refresh, apply_refresh_commitments, run_refresh, RefreshOutput};

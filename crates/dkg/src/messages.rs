@@ -1,7 +1,7 @@
 //! Wire messages of the distributed key generation protocol.
 
 use borndist_net::WireSize;
-use borndist_pairing::{G1Affine, Fr};
+use borndist_pairing::{Fr, G1Affine};
 use borndist_shamir::{PedersenCommitment, PedersenShare};
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +19,11 @@ pub struct AggregateWitness {
 /// A DKG message. One `enum` covers all four rounds; the honest state
 /// machine never sends a variant outside its round, but Byzantine players
 /// may (and receivers must tolerate it).
+//
+// `Commitments` dominates the enum size because `AggregateWitness` is two
+// inline curve points; boxing it would cost an allocation per broadcast
+// and break the field's `Copy` flow through the player state machine.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum DkgMessage {
     /// Round 0 broadcast: the dealer's Pedersen commitments, one
@@ -113,7 +118,9 @@ mod tests {
         };
         assert_eq!(shares.wire_size(), 1 + 4 + 2 * (4 + 64));
 
-        let complaints = DkgMessage::Complaints { against: vec![1, 2] };
+        let complaints = DkgMessage::Complaints {
+            against: vec![1, 2],
+        };
         assert_eq!(complaints.wire_size(), 1 + 4 + 8);
     }
 

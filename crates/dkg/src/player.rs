@@ -21,8 +21,10 @@
 
 use crate::messages::{AggregateWitness, DkgMessage};
 use borndist_net::{Delivered, Outgoing, PlayerId, Protocol, Recipient, RoundAction};
-use borndist_pairing::{multi_pairing, Fr, G1Affine, G1Projective, G2Affine, msm};
-use borndist_shamir::{PedersenBases, PedersenCommitment, PedersenShare, PedersenSharing, ThresholdParams};
+use borndist_pairing::{msm, multi_pairing, Fr, G1Affine, G1Projective, G2Affine};
+use borndist_shamir::{
+    PedersenBases, PedersenCommitment, PedersenShare, PedersenSharing, ThresholdParams,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -310,8 +312,7 @@ impl DkgPlayer {
         if commitments.iter().any(|c| c.len() != self.t() + 1) {
             return false;
         }
-        if self.cfg.mode == SharingMode::Refresh
-            && commitments.iter().any(|c| !c.is_zero_sharing())
+        if self.cfg.mode == SharingMode::Refresh && commitments.iter().any(|c| !c.is_zero_sharing())
         {
             return false;
         }
@@ -336,9 +337,10 @@ impl DkgPlayer {
         expected_index: PlayerId,
     ) -> bool {
         shares.len() == self.cfg.width
-            && shares.iter().zip(dealer_commitments.iter()).all(|(s, c)| {
-                s.index == expected_index && c.verify_share(&self.cfg.bases, s)
-            })
+            && shares
+                .iter()
+                .zip(dealer_commitments.iter())
+                .all(|(s, c)| s.index == expected_index && c.verify_share(&self.cfg.bases, s))
     }
 
     // --- round bodies ---
@@ -437,7 +439,9 @@ impl DkgPlayer {
                     }
                 }
                 DkgMessage::Shares { shares } if !d.broadcast => {
-                    self.shares_from.entry(d.from).or_insert_with(|| shares.clone());
+                    self.shares_from
+                        .entry(d.from)
+                        .or_insert_with(|| shares.clone());
                 }
                 _ => { /* out-of-round or malformed: ignore */ }
             }
@@ -445,7 +449,8 @@ impl DkgPlayer {
     }
 
     fn decide_complaints(&mut self) -> Vec<PlayerId> {
-        let mut against: BTreeSet<PlayerId> = self.behavior.false_complaints.iter().copied().collect();
+        let mut against: BTreeSet<PlayerId> =
+            self.behavior.false_complaints.iter().copied().collect();
         for dealer in 1..=self.n() as PlayerId {
             if self.globally_bad.contains(&dealer) {
                 continue; // already publicly disqualified, no complaint needed
@@ -474,10 +479,7 @@ impl DkgPlayer {
                     continue;
                 }
                 for accused in against {
-                    self.complaints
-                        .entry(*accused)
-                        .or_default()
-                        .insert(d.from);
+                    self.complaints.entry(*accused).or_default().insert(d.from);
                 }
             }
         }
@@ -610,11 +612,7 @@ impl DkgPlayer {
             share,
             combined_commitments: combined.expect("Q is non-empty"),
             aggregate_witness,
-            additive_secret: self
-                .my_sharings
-                .iter()
-                .map(|s| s.secret_pair())
-                .collect(),
+            additive_secret: self.my_sharings.iter().map(|s| s.secret_pair()).collect(),
         })
     }
 }
@@ -676,6 +674,17 @@ impl Protocol for DkgPlayer {
     }
 }
 
+/// Per-player outcomes plus traffic metrics of one simulated DKG (or
+/// refresh) run: the result type of [`run_dkg`] and
+/// [`crate::refresh::run_refresh`].
+pub type SimulatedRunResult = Result<
+    (
+        BTreeMap<PlayerId, Result<DkgOutput, DkgAbort>>,
+        borndist_net::Metrics,
+    ),
+    borndist_net::SimError,
+>;
+
 /// Convenience driver: runs a full DKG over the simulated network.
 ///
 /// `behaviors` maps player ids to fault hooks; unlisted players are
@@ -684,20 +693,15 @@ pub fn run_dkg(
     cfg: &DkgConfig,
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
-) -> Result<
-    (
-        BTreeMap<PlayerId, Result<DkgOutput, DkgAbort>>,
-        borndist_net::Metrics,
-    ),
-    borndist_net::SimError,
-> {
-    let players: Vec<Box<dyn Protocol<Message = DkgMessage, Output = Result<DkgOutput, DkgAbort>>>> =
-        (1..=cfg.params.n as PlayerId)
-            .map(|id| {
-                let behavior = behaviors.get(&id).cloned().unwrap_or_default();
-                Box::new(DkgPlayer::new(id, cfg.clone(), behavior, seed)) as _
-            })
-            .collect();
+) -> SimulatedRunResult {
+    let players: Vec<
+        Box<dyn Protocol<Message = DkgMessage, Output = Result<DkgOutput, DkgAbort>>>,
+    > = (1..=cfg.params.n as PlayerId)
+        .map(|id| {
+            let behavior = behaviors.get(&id).cloned().unwrap_or_default();
+            Box::new(DkgPlayer::new(id, cfg.clone(), behavior, seed)) as _
+        })
+        .collect();
     let mut sim = borndist_net::Simulator::new(players)?;
     let outputs = sim.run(8)?;
     Ok((outputs, sim.metrics().clone()))

@@ -7,8 +7,8 @@
 //! public key — is unchanged, while any set of ≤ t shares from *different
 //! periods* becomes useless to a mobile adversary.
 
-use crate::player::{run_dkg, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
-use borndist_net::{Metrics, PlayerId, SimError};
+use crate::player::{run_dkg, Behavior, DkgConfig, DkgOutput, SharingMode, SimulatedRunResult};
+use borndist_net::PlayerId;
 use borndist_pairing::Fr;
 use borndist_shamir::PedersenCommitment;
 use std::collections::BTreeMap;
@@ -57,7 +57,7 @@ pub fn run_refresh(
     cfg: &DkgConfig,
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
-) -> Result<(BTreeMap<PlayerId, Result<DkgOutput, DkgAbort>>, Metrics), SimError> {
+) -> SimulatedRunResult {
     let mut refresh_cfg = cfg.clone();
     refresh_cfg.mode = SharingMode::Refresh;
     // The Appendix G witness commits to the *key* constants, which are all

@@ -2,8 +2,8 @@
 //! executions, plus refresh and recovery.
 
 use borndist_dkg::{
-    apply_refresh, apply_refresh_commitments, recover_share, run_dkg, run_refresh,
-    standard_config, Behavior, DkgAbort, DkgOutput, Helper,
+    apply_refresh, apply_refresh_commitments, recover_share, run_dkg, run_refresh, standard_config,
+    Behavior, DkgAbort, DkgOutput, Helper,
 };
 use borndist_pairing::{Fr, G2Affine};
 use borndist_shamir::{interpolate_at, PedersenShare, ThresholdParams};
@@ -289,7 +289,11 @@ fn refresh_preserves_public_key_and_secret() {
         .collect();
     let pk = outs[&1].public_key_coordinates();
     let old_secret = {
-        let pts: Vec<(u32, Fr)> = outs.values().take(3).map(|o| (o.id, o.share[0].0)).collect();
+        let pts: Vec<(u32, Fr)> = outs
+            .values()
+            .take(3)
+            .map(|o| (o.id, o.share[0].0))
+            .collect();
         interpolate_at(&pts, Fr::zero()).unwrap()
     };
 
@@ -301,8 +305,10 @@ fn refresh_preserves_public_key_and_secret() {
             (*id, apply_refresh(&o.share, r))
         })
         .collect();
-    let new_commitments =
-        apply_refresh_commitments(&outs[&1].combined_commitments, refresh_outputs[&1].as_ref().unwrap());
+    let new_commitments = apply_refresh_commitments(
+        &outs[&1].combined_commitments,
+        refresh_outputs[&1].as_ref().unwrap(),
+    );
 
     // Public key unchanged.
     let new_pk: Vec<G2Affine> = new_commitments
@@ -312,7 +318,11 @@ fn refresh_preserves_public_key_and_secret() {
     assert_eq!(new_pk, pk);
 
     // Joint secret unchanged, but individual shares changed.
-    let pts: Vec<(u32, Fr)> = new_shares.iter().take(3).map(|(id, s)| (*id, s[0].0)).collect();
+    let pts: Vec<(u32, Fr)> = new_shares
+        .iter()
+        .take(3)
+        .map(|(id, s)| (*id, s[0].0))
+        .collect();
     assert_eq!(interpolate_at(&pts, Fr::zero()).unwrap(), old_secret);
     assert_ne!(new_shares[&1][0].0, outs[&1].share[0].0);
 

@@ -273,16 +273,13 @@ mod tests {
         StdRng::seed_from_u64(0x95)
     }
 
+    /// The "extra pair" part of a statement: `(P1, P2)` with its `Q̂`.
+    type ExtraPair = ((G1Affine, G1Affine), G2Affine);
+
     /// Builds a valid statement: X1, X2 with constants Â1, Â2 and the
     /// extra pair absorbing the target, i.e.
     /// e(X1,Â1)·e(X2,Â2)·e(P,Q̂) = 1 by construction.
-    fn sample_statement(
-        r: &mut StdRng,
-    ) -> (
-        Vec<G1Projective>,
-        Vec<G2Affine>,
-        ((G1Affine, G1Affine), G2Affine),
-    ) {
+    fn sample_statement(r: &mut StdRng) -> (Vec<G1Projective>, Vec<G2Affine>, ExtraPair) {
         let a1 = G2Projective::random(r).to_affine();
         let a2 = G2Projective::random(r).to_affine();
         let x1 = G1Projective::random(r);
@@ -346,7 +343,13 @@ mod tests {
         let proof = prove(&constants, &rands);
         // Tamper with the target.
         let bad_extra = (extra.0, G2Projective::random(&mut r).to_affine());
-        assert!(!verify(&crs, &constants, &commitments, &[bad_extra], &proof));
+        assert!(!verify(
+            &crs,
+            &constants,
+            &commitments,
+            &[bad_extra],
+            &proof
+        ));
         // Tamper with a commitment.
         let mut bad = commitments.clone();
         bad[0].c2 = bad[0].c1;
@@ -427,10 +430,7 @@ mod tests {
         assert!(verify(&crs, &[a], &[c2], &[ex(v2)], &p2));
         // Combine with weights.
         let (w1, w2) = (Fr::from_u64(3), Fr::from_u64(11));
-        let (cc, cp) = combine_weighted(
-            &[(&[c1][..], &p1), (&[c2][..], &p2)],
-            &[w1, w2],
-        );
+        let (cc, cp) = combine_weighted(&[(&[c1][..], &p1), (&[c2][..], &p2)], &[w1, w2]);
         let v_comb = v1 * w1 + v2 * w2;
         assert!(verify(&crs, &[a], &cc, &[ex(v_comb)], &cp));
     }

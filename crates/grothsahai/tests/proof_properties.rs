@@ -8,17 +8,13 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The "extra pair" part of a statement: `(g^v, g^v)` with its `Q̂`.
+type ExtraPair = ((G1Affine, G1Affine), G2Affine);
+
 /// Builds a satisfied statement with `k` committed variables:
 /// `Π e(X_i, Â_i) · e(g^v, Q̂) = 1`, returning witnesses, constants and
 /// the extra pair.
-fn statement(
-    rng: &mut StdRng,
-    k: usize,
-) -> (
-    Vec<G1Projective>,
-    Vec<G2Affine>,
-    ((G1Affine, G1Affine), G2Affine),
-) {
+fn statement(rng: &mut StdRng, k: usize) -> (Vec<G1Projective>, Vec<G2Affine>, ExtraPair) {
     let g = G1Projective::generator();
     let gh = G2Projective::generator();
     let xs_scalars: Vec<Fr> = (0..k).map(|_| Fr::random(rng)).collect();

@@ -230,9 +230,7 @@ mod tests {
             sum.public_key(&params),
             pk.combine(&sk2.public_key(&params))
         );
-        assert!(sum
-            .public_key(&params)
-            .verify(&params, &m1, &sum.sign(&m1)));
+        assert!(sum.public_key(&params).verify(&params, &m1, &sum.sign(&m1)));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! (over messages and over keys) that the entire paper rests on, checked
 //! with random dimensions, weights, and derivation depths.
 
-use borndist_lhsps::{
-    one_time, sdp, DpParams, OneTimeSecretKey, SdpParams, SdpSecretKey,
-};
+use borndist_lhsps::{one_time, sdp, DpParams, OneTimeSecretKey, SdpParams, SdpSecretKey};
 use borndist_pairing::{Fr, G1Projective};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

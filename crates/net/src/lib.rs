@@ -179,9 +179,7 @@ impl<M: Clone + WireSize, O> Simulator<M, O> {
     /// # Errors
     ///
     /// Fails if two players share an id.
-    pub fn new(
-        players: Vec<Box<dyn Protocol<Message = M, Output = O>>>,
-    ) -> Result<Self, SimError> {
+    pub fn new(players: Vec<Box<dyn Protocol<Message = M, Output = O>>>) -> Result<Self, SimError> {
         let mut seen = std::collections::HashSet::new();
         for p in &players {
             if !seen.insert(p.id()) {
@@ -318,7 +316,9 @@ mod tests {
 
     fn summers(n: u32) -> Vec<Box<dyn Protocol<Message = u64, Output = u64>>> {
         (1..=n)
-            .map(|id| Box::new(Summer { id, seen: 0 }) as Box<dyn Protocol<Message = u64, Output = u64>>)
+            .map(|id| {
+                Box::new(Summer { id, seen: 0 }) as Box<dyn Protocol<Message = u64, Output = u64>>
+            })
             .collect()
     }
 
@@ -361,10 +361,7 @@ mod tests {
             }
         }
         let mut sim: Simulator<u64, ()> = Simulator::new(vec![Box::new(Forever)]).unwrap();
-        assert_eq!(
-            sim.run(5),
-            Err(SimError::RoundLimitExceeded { limit: 5 })
-        );
+        assert_eq!(sim.run(5), Err(SimError::RoundLimitExceeded { limit: 5 }));
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! side-channel-resistant implementation (see DESIGN.md).
 
 use crate::constants::{
-    G1_COFACTOR, G1_GEN_X, G1_GEN_Y, G2_COFACTOR, G2_GEN_X0, G2_GEN_X1, G2_GEN_Y0, G2_GEN_Y1,
-    ORDER,
+    G1_COFACTOR, G1_GEN_X, G1_GEN_Y, G2_COFACTOR, G2_GEN_X0, G2_GEN_X1, G2_GEN_Y0, G2_GEN_Y1, ORDER,
 };
 use crate::fp::Fp;
 use crate::fp2::Fp2;
@@ -592,8 +591,7 @@ impl G1Affine {
             return Err(DecodePointError::BadFlags);
         }
         if flags & FLAG_INFINITY != 0 {
-            if bytes[1..].iter().any(|&b| b != 0) || bytes[0] != (FLAG_COMPRESSED | FLAG_INFINITY)
-            {
+            if bytes[1..].iter().any(|&b| b != 0) || bytes[0] != (FLAG_COMPRESSED | FLAG_INFINITY) {
                 return Err(DecodePointError::BadFlags);
             }
             return Ok(Self::identity());
@@ -681,8 +679,7 @@ impl G2Affine {
             return Err(DecodePointError::BadFlags);
         }
         if flags & FLAG_INFINITY != 0 {
-            if bytes[1..].iter().any(|&b| b != 0) || bytes[0] != (FLAG_COMPRESSED | FLAG_INFINITY)
-            {
+            if bytes[1..].iter().any(|&b| b != 0) || bytes[0] != (FLAG_COMPRESSED | FLAG_INFINITY) {
                 return Err(DecodePointError::BadFlags);
             }
             return Ok(Self::identity());
@@ -821,10 +818,7 @@ mod tests {
         // Edge: add the negative.
         assert!(p.add_affine(&p.neg().to_affine()).is_identity());
         // Edge: identity + affine.
-        assert_eq!(
-            G1Projective::identity().add_affine(&q.to_affine()),
-            q
-        );
+        assert_eq!(G1Projective::identity().add_affine(&q.to_affine()), q);
     }
 
     #[test]

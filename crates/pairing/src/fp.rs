@@ -1,6 +1,6 @@
 //! The BLS12-381 base field `Fp`, `p` a 381-bit prime.
 
-use crate::arith::{impl_montgomery_field, adc, mac, sbb};
+use crate::arith::{adc, impl_montgomery_field, mac, sbb};
 use crate::constants::*;
 use crate::traits::Field;
 

@@ -234,7 +234,11 @@ mod tests {
     fn ring_axioms() {
         let mut r = rng();
         for _ in 0..20 {
-            let (a, b, c) = (Fp2::random(&mut r), Fp2::random(&mut r), Fp2::random(&mut r));
+            let (a, b, c) = (
+                Fp2::random(&mut r),
+                Fp2::random(&mut r),
+                Fp2::random(&mut r),
+            );
             assert_eq!(a * b, b * a);
             assert_eq!((a * b) * c, a * (b * c));
             assert_eq!(a * (b + c), a * b + a * c);
@@ -268,7 +272,7 @@ mod tests {
         // conj(conj(a)) = a
         assert_eq!(a.conjugate().conjugate(), a);
         // a * conj(a) lies in Fp (imaginary part zero)
-        assert!( (a * a.conjugate()).c1.is_zero() );
+        assert!((a * a.conjugate()).c1.is_zero());
     }
 
     #[test]

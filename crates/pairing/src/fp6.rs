@@ -116,8 +116,7 @@ impl core::ops::Mul for Fp6 {
         let t0 = self.c0 * rhs.c0;
         let t1 = self.c1 * rhs.c1;
         let t2 = self.c2 * rhs.c2;
-        let c0 =
-            t0 + ((self.c1 + self.c2) * (rhs.c1 + rhs.c2) - t1 - t2).mul_by_xi();
+        let c0 = t0 + ((self.c1 + self.c2) * (rhs.c1 + rhs.c2) - t1 - t2).mul_by_xi();
         let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - t0 - t1 + t2.mul_by_xi();
         let c2 = (self.c0 + self.c2) * (rhs.c0 + rhs.c2) - t0 - t2 + t1;
         Fp6::new(c0, c1, c2)
@@ -184,7 +183,11 @@ mod tests {
     fn ring_axioms() {
         let mut r = rng();
         for _ in 0..10 {
-            let (a, b, c) = (Fp6::random(&mut r), Fp6::random(&mut r), Fp6::random(&mut r));
+            let (a, b, c) = (
+                Fp6::random(&mut r),
+                Fp6::random(&mut r),
+                Fp6::random(&mut r),
+            );
             assert_eq!(a * b, b * a);
             assert_eq!((a * b) * c, a * (b * c));
             assert_eq!(a * (b + c), a * b + a * c);

@@ -4,7 +4,7 @@
 //! field for all secret sharing: private key shares, polynomial
 //! coefficients and Lagrange multipliers are `Fr` elements.
 
-use crate::arith::{impl_montgomery_field, adc, mac, sbb};
+use crate::arith::{adc, impl_montgomery_field, mac, sbb};
 use crate::constants::*;
 use crate::traits::Field;
 

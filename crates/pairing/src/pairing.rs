@@ -29,8 +29,8 @@
 use crate::constants::{FINAL_EXP_HARD, ORDER};
 use crate::curve::{G1Affine, G1Projective, G2Affine};
 
-use crate::fp2::Fp2;
 use crate::fp12::Fp12;
+use crate::fp2::Fp2;
 use crate::fr::Fr;
 use crate::traits::Field;
 
@@ -295,8 +295,7 @@ mod tests {
                 )
             })
             .collect();
-        let refs: Vec<(&G1Affine, &G2Affine)> =
-            pairs_proj.iter().map(|(p, q)| (p, q)).collect();
+        let refs: Vec<(&G1Affine, &G2Affine)> = pairs_proj.iter().map(|(p, q)| (p, q)).collect();
         let joint = multi_pairing(&refs);
         let mut separate = Gt::identity();
         for (p, q) in &pairs_proj {

@@ -153,7 +153,7 @@ proptest! {
         let joint = multi_pairing(&refs);
         let mut sep = Gt::identity();
         for (a, b) in &pairs {
-            sep = sep * pairing(a, b);
+            sep *= pairing(a, b);
         }
         prop_assert_eq!(joint, sep);
     }

@@ -21,11 +21,7 @@ pub struct FeldmanCommitment<C: CurveParams> {
 impl<C: CurveParams> FeldmanCommitment<C> {
     /// Commits to `poly` under the generator `g`.
     pub fn commit(poly: &Polynomial, g: &Projective<C>) -> Self {
-        let points: Vec<Projective<C>> = poly
-            .coefficients()
-            .iter()
-            .map(|c| g.mul(c))
-            .collect();
+        let points: Vec<Projective<C>> = poly.coefficients().iter().map(|c| g.mul(c)).collect();
         FeldmanCommitment {
             commitments: Projective::batch_to_affine(&points),
         }

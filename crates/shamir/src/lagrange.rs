@@ -181,10 +181,7 @@ mod tests {
             .iter()
             .map(|&i| (i, p.evaluate_at_index(i)))
             .collect();
-        assert_ne!(
-            interpolate_at(&pts, Fr::zero()).unwrap(),
-            p.constant_term()
-        );
+        assert_ne!(interpolate_at(&pts, Fr::zero()).unwrap(), p.constant_term());
     }
 
     #[test]

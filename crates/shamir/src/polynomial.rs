@@ -20,7 +20,10 @@ impl Polynomial {
     ///
     /// Panics if `coeffs` is empty (the zero polynomial is `[0]`).
     pub fn from_coefficients(coeffs: Vec<Fr>) -> Self {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -53,11 +56,7 @@ impl Polynomial {
     /// Samples a random degree-`degree` polynomial that *evaluates to zero*
     /// at `x = at` — the masking polynomials of Herzberg-style share
     /// recovery.
-    pub fn random_vanishing_at<R: RngCore + ?Sized>(
-        at: Fr,
-        degree: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_vanishing_at<R: RngCore + ?Sized>(at: Fr, degree: usize, rng: &mut R) -> Self {
         // Sample all but the constant coefficient, then solve for c0 so
         // that P(at) = 0.
         let mut coeffs = vec![Fr::zero()];
@@ -128,11 +127,8 @@ mod tests {
     #[test]
     fn evaluate_known_polynomial() {
         // P(X) = 3 + 2X + X^2
-        let p = Polynomial::from_coefficients(vec![
-            Fr::from_u64(3),
-            Fr::from_u64(2),
-            Fr::from_u64(1),
-        ]);
+        let p =
+            Polynomial::from_coefficients(vec![Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)]);
         assert_eq!(p.evaluate(Fr::from_u64(0)), Fr::from_u64(3));
         assert_eq!(p.evaluate(Fr::from_u64(1)), Fr::from_u64(6));
         assert_eq!(p.evaluate(Fr::from_u64(2)), Fr::from_u64(11));

@@ -87,8 +87,14 @@ fn main() {
     assert!(q.contains(&2), "player 2 answered its complaint and stays");
     assert!(!q.contains(&3), "player 3 refused to answer and is out");
     assert!(!q.contains(&5), "player 5 crashed and is out");
-    assert!(q.contains(&1) && q.contains(&7), "false accusation is harmless");
-    println!("\n== Agreement reached: Q = {:?} ==", q.iter().collect::<Vec<_>>());
+    assert!(
+        q.contains(&1) && q.contains(&7),
+        "false accusation is harmless"
+    );
+    println!(
+        "\n== Agreement reached: Q = {:?} ==",
+        q.iter().collect::<Vec<_>>()
+    );
 
     // And the resulting key still signs.
     let reference = outputs

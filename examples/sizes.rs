@@ -23,7 +23,9 @@ fn main() {
     let ro = ThresholdScheme::new(b"sizes");
     let km = ro.dealer_keygen(params, &mut rng);
     let ro_sig = {
-        let p: Vec<_> = (1..=2u32).map(|i| ro.share_sign(&km.shares[&i], b"m")).collect();
+        let p: Vec<_> = (1..=2u32)
+            .map(|i| ro.share_sign(&km.shares[&i], b"m"))
+            .collect();
         ro.combine(&params, &p).unwrap()
     };
     let ro_sig_bytes = ro_sig.sig.z.to_compressed().len() + ro_sig.sig.r.to_compressed().len();
@@ -38,8 +40,8 @@ fn main() {
             .collect();
         std_scheme.combine(&params, b"m", &p, &mut rng).unwrap()
     };
-    let std_sig_bytes = 4 * std_sig.c_z.c1.to_compressed().len()
-        + 2 * std_sig.proof.pi1.to_compressed().len();
+    let std_sig_bytes =
+        4 * std_sig.c_z.c1.to_compressed().len() + 2 * std_sig.proof.pi1.to_compressed().len();
     let std_share_bytes = 2 * 32;
 
     let dlin_sig_bytes = DlinScheme::signature_bytes();
@@ -61,13 +63,49 @@ fn main() {
         "scheme", "sig B", "sig bits", "share B", "PK B", "security"
     );
     println!("{:-<100}", "");
-    row("§3 ROM (this work, BLS12-381)", ro_sig_bytes, ro_share_bytes, ro_pk_bytes, "adaptive");
-    row_bits("§3 ROM (paper, BN254)", rsa_sizes::PAPER_BN254_SIGNATURE_BITS, 4 * 32, 2 * 64, "adaptive");
-    row("§4 std-model (BLS12-381)", std_sig_bytes, std_share_bytes, 96, "adaptive");
-    row_bits("§4 std-model (paper, BN254)", rsa_sizes::PAPER_BN254_STD_SIGNATURE_BITS, 2 * 32, 64, "adaptive");
-    row("App. F DLIN (BLS12-381)", dlin_sig_bytes, dlin_share_bytes, 6 * 96, "adaptive");
+    row(
+        "§3 ROM (this work, BLS12-381)",
+        ro_sig_bytes,
+        ro_share_bytes,
+        ro_pk_bytes,
+        "adaptive",
+    );
+    row_bits(
+        "§3 ROM (paper, BN254)",
+        rsa_sizes::PAPER_BN254_SIGNATURE_BITS,
+        4 * 32,
+        2 * 64,
+        "adaptive",
+    );
+    row(
+        "§4 std-model (BLS12-381)",
+        std_sig_bytes,
+        std_share_bytes,
+        96,
+        "adaptive",
+    );
+    row_bits(
+        "§4 std-model (paper, BN254)",
+        rsa_sizes::PAPER_BN254_STD_SIGNATURE_BITS,
+        2 * 32,
+        64,
+        "adaptive",
+    );
+    row(
+        "App. F DLIN (BLS12-381)",
+        dlin_sig_bytes,
+        dlin_share_bytes,
+        6 * 96,
+        "adaptive",
+    );
     row("Boldyreva threshold BLS", b_sig_bytes, 32, 96, "static");
-    row_bits("Shoup threshold RSA", rsa_sizes::SHOUP_RSA_SIGNATURE_BITS, rsa_sizes::SHOUP_RSA_SHARE_BITS, rsa_sizes::RSA_MODULUS_BITS, "static");
+    row_bits(
+        "Shoup threshold RSA",
+        rsa_sizes::SHOUP_RSA_SIGNATURE_BITS,
+        rsa_sizes::SHOUP_RSA_SHARE_BITS,
+        rsa_sizes::RSA_MODULUS_BITS,
+        "static",
+    );
     println!("{:-<100}", "");
     println!(
         "paper claim check: RSA/§3 signature ratio = {:.1}x (paper: 3076/512 = 6.0x on BN254)",

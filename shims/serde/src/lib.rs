@@ -1,0 +1,435 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the serde API subset the workspace actually uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits with the real signatures
+//!   (`fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`),
+//!   so the hand-written impls in `borndist_pairing` compile unchanged;
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   shim (which also accepts and ignores `#[serde(...)]` attributes);
+//! * impls for the primitives and std containers the workspace
+//!   serializes.
+//!
+//! Unlike real serde's visitor-based zero-copy design, this shim funnels
+//! everything through a self-describing [`Value`] tree: a [`Serializer`]
+//! receives one fully-built `Value`, and a [`Deserializer`] yields one.
+//! That is dramatically simpler and entirely sufficient for the
+//! workspace's needs (JSON round-trips in tests via the `serde_json`
+//! shim).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value, the pivot format of this shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`; encodes `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+/// Error raised when a [`Value`] cannot be converted to the requested
+/// type, and the error type of the built-in [`ValueDeserializer`].
+#[derive(Clone, Debug)]
+pub struct ValueError(String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialization-side error plumbing (`serde::ser`).
+pub mod ser {
+    /// Trait every [`Serializer`](super::Serializer) error implements.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing (`serde::de`).
+pub mod de {
+    /// Trait every [`Deserializer`](super::Deserializer) error implements.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A sink consuming one serialized [`Value`].
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes the fully-built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source yielding one serialized [`Value`].
+///
+/// The lifetime parameter mirrors real serde's API so `impl<'de>
+/// Deserialize<'de> for …` blocks compile unchanged; this shim never
+/// borrows from the input.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the value to decode.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value into the pivot [`Value`] tree. Infallible for
+/// every `Serialize` impl in this workspace.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value
+        .serialize(ValueSerializer)
+        .expect("serialization into Value cannot fail")
+}
+
+/// Decodes a [`Value`] into a concrete type.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Removes and returns the entry for `key` from a map's entry list.
+/// Support function for derived `Deserialize` impls.
+#[doc(hidden)]
+pub fn __take_field(entries: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let pos = entries.iter().position(|(k, _)| k == key)?;
+    Some(entries.remove(pos).1)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    other => Err(de::Error::custom(format!(
+                        "expected unsigned integer, got {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::U64(v as u64))
+                } else {
+                    s.serialize_value(Value::I64(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    other => Err(de::Error::custom(format!(
+                        "expected integer, got {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, got {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected float, got {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format!(
+                "expected string, got {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Deserialize::deserialize(d)?;
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom("wrong array length"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, got {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.deserialize_value()? {
+                    Value::Seq(items) => {
+                        let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expected {
+                            return Err(de::Error::custom("wrong tuple length"));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(iter.next().expect("length checked"))
+                                .map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected tuple sequence, got {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| de::Error::custom(format!("invalid map key `{k}`")))?;
+                    let value = from_value(v).map_err(de::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected map, got {:?}", other))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Deserialize::deserialize(d)?;
+        Ok(items.into_iter().collect())
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the `serde` shim
+//! crate without `syn`/`quote` (neither is available offline): the item
+//! is parsed directly from the `proc_macro` token stream and the impls
+//! are emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with named-field, tuple and unit variants;
+//! * optional generics (copied verbatim onto the impl, no bounds added);
+//! * `#[serde(...)]` helper attributes are accepted and ignored
+//!   (the one use in the tree, `#[serde(bound = "")]`, requests exactly
+//!   the no-extra-bounds behavior this derive always has).
+//!
+//! Encoding (must stay in sync with the `serde` shim's `Value`):
+//! * named fields -> `Value::Map` keyed by field name;
+//! * tuple fields -> `Value::Seq` in declaration order;
+//! * unit struct  -> empty `Value::Map`;
+//! * enum variant -> single-entry `Value::Map { variant_name: payload }`,
+//!   except unit variants which encode as `Value::Str(variant_name)`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// What kind of item we are deriving on.
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// A parsed `struct`/`enum` item, reduced to what code generation needs.
+struct Item {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `C: CurveParams` —
+    /// empty when the type is not generic.
+    generics_decl: String,
+    /// Bare parameter names for the type path, e.g. `C`.
+    generics_use: String,
+    kind: Kind,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+        skip_attributes_and_vis(&tokens, &mut pos);
+
+        let keyword = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected `struct` or `enum`, got {}", other),
+        };
+        pos += 1;
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected item name, got {}", other),
+        };
+        pos += 1;
+
+        let (generics_decl, generics_use) = parse_generics(&tokens, &mut pos);
+
+        let kind = match keyword.as_str() {
+            "struct" => Kind::Struct(parse_struct_body(&tokens, &mut pos)),
+            "enum" => Kind::Enum(parse_enum_body(&tokens, &mut pos)),
+            other => panic!("cannot derive serde impls for `{}` items", other),
+        };
+
+        Item {
+            name,
+            generics_decl,
+            generics_use,
+            kind,
+        }
+    }
+
+    /// `impl<'de, C: B> Tr for Name<C>` header fragments.
+    fn impl_headers(&self) -> (String, String, String) {
+        let ser_impl = if self.generics_decl.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics_decl)
+        };
+        let de_impl = if self.generics_decl.is_empty() {
+            "<'de>".to_owned()
+        } else {
+            format!("<'de, {}>", self.generics_decl)
+        };
+        let ty = if self.generics_use.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics_use)
+        };
+        (ser_impl, de_impl, ty)
+    }
+
+    fn serialize_impl(&self) -> String {
+        let (ser_impl, _, ty) = self.impl_headers();
+        let body = match &self.kind {
+            Kind::Struct(fields) => serialize_fields_expr(fields, "self.", true),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(vname, fields)| serialize_variant_arm(vname, fields))
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl{ser_impl} ::serde::Serialize for {ty} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                     -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let (_, de_impl, ty) = self.impl_headers();
+        let body = match &self.kind {
+            Kind::Struct(fields) => deserialize_fields_expr(fields, "Self"),
+            Kind::Enum(variants) => deserialize_enum_expr(variants),
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl{de_impl} ::serde::Deserialize<'de> for {ty} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                     -> ::core::result::Result<Self, __D::Error> {{\n\
+                     let __value = ::serde::Deserializer::deserialize_value(__d)?;\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        )
+    }
+}
+
+/// `__s.serialize_value(...)` for a field list. `prefix` is how fields
+/// are reached (`self.` in struct impls, empty for match bindings).
+fn serialize_fields_expr(fields: &Fields, prefix: &str, statement: bool) -> String {
+    let value = fields_to_value(fields, prefix);
+    if statement {
+        format!("__s.serialize_value({value})")
+    } else {
+        value
+    }
+}
+
+/// Expression of type `serde::Value` encoding the fields.
+fn fields_to_value(fields: &Fields, prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::to_value(&{prefix}{n}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(arity) => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| {
+                    if prefix.is_empty() {
+                        format!("::serde::to_value(__f{i})")
+                    } else {
+                        format!("::serde::to_value(&{prefix}{i})")
+                    }
+                })
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_owned(),
+    }
+}
+
+/// One `match` arm serializing an enum variant.
+fn serialize_variant_arm(vname: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "Self::{vname} => __s.serialize_value(\
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\"))),"
+        ),
+        Fields::Named(names) => {
+            let bindings = names.join(", ");
+            let payload = fields_to_value(fields, "");
+            format!(
+                "Self::{vname} {{ {bindings} }} => __s.serialize_value(\
+                     ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), {payload})])),"
+            )
+        }
+        Fields::Tuple(arity) => {
+            let bindings: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let payload = fields_to_value(fields, "");
+            format!(
+                "Self::{vname}({}) => __s.serialize_value(\
+                     ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), {payload})])),",
+                bindings.join(", ")
+            )
+        }
+    }
+}
+
+/// Shared error-constructor snippet for generated deserialize code.
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// Expression deserializing `__value` into `ctor { fields... }`.
+fn deserialize_fields_expr(fields: &Fields, ctor: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let field_inits: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: ::serde::from_value(\
+                             ::serde::__take_field(&mut __map, \"{n}\")\
+                                 .ok_or_else(|| {DE_ERR}(\"missing field `{n}`\"))?)\
+                             .map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __map = match __value {{\n\
+                     ::serde::Value::Map(m) => m,\n\
+                     _ => return ::core::result::Result::Err({DE_ERR}(\"expected map\")),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({ctor} {{ {} }})",
+                field_inits.join(", ")
+            )
+        }
+        Fields::Tuple(arity) => {
+            let field_inits: Vec<String> = (0..*arity)
+                .map(|_| {
+                    format!(
+                        "::serde::from_value(__iter.next().expect(\"length checked\"))\
+                             .map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = match __value {{\n\
+                     ::serde::Value::Seq(v) => v,\n\
+                     _ => return ::core::result::Result::Err({DE_ERR}(\"expected sequence\")),\n\
+                 }};\n\
+                 if __items.len() != {arity} {{\n\
+                     return ::core::result::Result::Err({DE_ERR}(\"wrong tuple length\"));\n\
+                 }}\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::core::result::Result::Ok({ctor}({}))",
+                field_inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::core::result::Result::Ok({ctor})"),
+    }
+}
+
+/// Match over the externally-tagged enum encoding.
+fn deserialize_enum_expr(variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => ::core::result::Result::Ok(Self::{vname}),"))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(vname, fields)| {
+            let body = deserialize_fields_expr(fields, &format!("Self::{vname}"));
+            format!("\"{vname}\" => {{ let __value = __payload; {body} }}")
+        })
+        .collect();
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => ::core::result::Result::Err({DE_ERR}(\"unknown unit variant\")),\n\
+             }},\n\
+             ::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = __m.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     _ => ::core::result::Result::Err({DE_ERR}(\"unknown variant\")),\n\
+                 }}\n\
+             }},\n\
+             _ => ::core::result::Result::Err({DE_ERR}(\"invalid enum encoding\")),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers.
+// ---------------------------------------------------------------------------
+
+/// Advances past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` then the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                // `pub(crate)` / `pub(super)` carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses an optional `<...>` generic parameter list, returning the
+/// declaration text (with bounds) and the bare parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> (String, String) {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new()),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    let mut prev_was_dash = false;
+    while depth > 0 {
+        let tok = tokens
+            .get(*pos)
+            .unwrap_or_else(|| panic!("unterminated generic parameter list"));
+        *pos += 1;
+        let was_dash = prev_was_dash;
+        prev_was_dash = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                // The `>` of a `->` arrow (e.g. `F: Fn() -> T`) does not
+                // close the generic parameter list.
+                '>' if was_dash => {}
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                '-' => prev_was_dash = true,
+                _ => {}
+            }
+        }
+        inner.push(tok.clone());
+    }
+
+    let decl = tokens_to_string(&inner);
+    let mut params: Vec<String> = Vec::new();
+    for segment in split_top_level_commas(&inner) {
+        let mut it = segment.iter();
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(id)) = it.next() {
+                    params.push(format!("'{id}"));
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+                if let Some(TokenTree::Ident(name)) = it.next() {
+                    params.push(name.to_string());
+                }
+            }
+            Some(TokenTree::Ident(id)) => params.push(id.to_string()),
+            _ => {}
+        }
+    }
+    (decl, params.join(", "))
+}
+
+/// Parses the body of a `struct` item (after name and generics).
+fn parse_struct_body(tokens: &[TokenTree], pos: &mut usize) -> Fields {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_field_names(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(split_top_level_commas(&inner).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        // `struct Foo<T> where ...` — no use in this workspace; the
+        // derive would need to copy the clause, so reject loudly.
+        other => panic!("unsupported struct body near {:?}", other),
+    }
+}
+
+/// Parses enum variants from the brace group at `pos`.
+fn parse_enum_body(tokens: &[TokenTree], pos: &mut usize) -> Vec<(String, Fields)> {
+    let group = match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body, got {:?}", other),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    for segment in split_top_level_commas(&inner) {
+        let mut i = 0usize;
+        skip_attributes_and_vis(&segment, &mut i);
+        if i >= segment.len() {
+            continue; // trailing comma
+        }
+        let name = match &segment[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {}", other),
+        };
+        i += 1;
+        let fields = match segment.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_field_names(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_level_commas(&body).len())
+            }
+            None => Fields::Unit,
+            other => panic!("unsupported variant shape near {:?}", other),
+        };
+        variants.push((name, fields));
+    }
+    variants
+}
+
+/// Extracts field names from the token stream of a named-field body.
+fn parse_named_field_names(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    for segment in split_top_level_commas(tokens) {
+        let mut i = 0usize;
+        skip_attributes_and_vis(&segment, &mut i);
+        if i >= segment.len() {
+            continue; // trailing comma
+        }
+        match &segment[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("expected field name, got {}", other),
+        }
+        // The `: Type` tail is intentionally ignored: generated code
+        // relies on inference at the construction site instead.
+    }
+    names
+}
+
+/// Splits a token slice on commas that sit outside any `<...>` nesting.
+/// (Bracketed/parenthesized content arrives as single `Group` tokens, so
+/// only angle brackets need explicit depth tracking.) The `>` of a `->`
+/// return-type arrow is not an angle-bracket close; a depth underflow —
+/// some construct this mini-parser does not model — panics loudly rather
+/// than silently merging fields.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0isize;
+    let mut prev_was_dash = false;
+    for tok in tokens {
+        let mut is_dash = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if prev_was_dash => {} // the `>` of a `->` arrow
+                '>' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced `>` in field or generics list");
+                }
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    prev_was_dash = false;
+                    continue;
+                }
+                '-' => is_dash = true,
+                _ => {}
+            }
+        }
+        prev_was_dash = is_dash;
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Renders tokens back to source text.
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Provides `to_string` / `from_str` over the `serde` shim's [`Value`]
+//! pivot: serialization builds a `Value` tree and renders it as JSON
+//! text; deserialization parses JSON text into a `Value` and decodes it.
+//! Covers full JSON (nested arrays/objects, string escapes including
+//! surrogate pairs, signed/unsigned/float numbers) so every round-trip
+//! test in the workspace exercises a real codec.
+
+use serde::{de::Error as _, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Error type for JSON encoding/decoding.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&serde::to_value(value), &mut out);
+    Ok(out)
+}
+
+/// Deserializes an instance of `T` from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    T::deserialize(serde::ValueDeserializer(value)).map_err(Error::custom)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                // Rust's Display for f64 is shortest-round-trip; append
+                // `.0` so integral floats stay floats on re-parse.
+                let s = v.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no Inf/NaN; mirror serde_json's `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump()? {
+            got if got == b => Ok(()),
+            got => Err(Error(format!(
+                "expected `{}`, got `{}` at byte {}",
+                b as char,
+                got as char,
+                self.pos - 1
+            ))),
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".into()))?
+        {
+            b'n' => self.eat_literal("null").map(|_| Value::Null),
+            b't' => self.eat_literal("true").map(|_| Value::Bool(true)),
+            b'f' => self.eat_literal("false").map(|_| Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Seq(items)),
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, got `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Map(entries)),
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, got `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'u' => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error("invalid low surrogate".into()));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid unicode escape".into()))?,
+                        );
+                    }
+                    other => return Err(Error(format!("invalid escape `\\{}`", other as char))),
+                },
+                // Multi-byte UTF-8: pass raw bytes through and re-validate.
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8 sequence".into()))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump()?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error("invalid hex digit in \\u escape".into()))?;
+            v = (v << 4) | digit;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize> {
+    match first {
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err(Error("invalid UTF-8 lead byte".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v: Vec<u8> = vec![0, 1, 255];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[0,1,255]");
+        assert_eq!(from_str::<Vec<u8>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "quote:\" backslash:\\ newline:\n unicode:é 日本 \u{1}";
+        let s = to_string(original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+    }
+
+    #[test]
+    fn surrogate_pair_parses() {
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u64>>(" [ 1 , 2 ,\n3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u32>("42 x").is_err());
+        assert!(from_str::<Vec<u8>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let s = to_string(&1.5f64).unwrap();
+        assert_eq!(from_str::<f64>(&s).unwrap(), 1.5);
+        let whole = to_string(&2.0f64).unwrap();
+        assert_eq!(whole, "2.0");
+    }
+}

@@ -18,9 +18,10 @@
 //! | [`core`] | the paper's schemes: §3 ROM, Appendix G aggregation, Appendix F DLIN, §4 standard model, §3.3 proactive epochs |
 //! | [`baselines`] | plain BLS, Boldyreva threshold BLS, additive-reshare (ADN-style) scheme, RSA size constants |
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
-//! architecture and experiment index, and EXPERIMENTS.md for
-//! paper-vs-measured results.
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the architecture notes and the E1–E10 experiment index (measured
+//! results will land in EXPERIMENTS.md alongside the measurement
+//! harness).
 
 pub use borndist_baselines as baselines;
 pub use borndist_core as core;

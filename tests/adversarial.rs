@@ -102,10 +102,7 @@ fn threshold_is_enforced_everywhere() {
     );
     // Duplicated indices cannot fake a quorum.
     let dup = vec![partials[0], partials[1], partials[1]];
-    assert_eq!(
-        scheme.combine(&params, &dup),
-        Err(CombineError::BadIndices)
-    );
+    assert_eq!(scheme.combine(&params, &dup), Err(CombineError::BadIndices));
 }
 
 #[test]
@@ -136,17 +133,13 @@ fn mobile_adversary_defeated_by_refresh() {
         .combine(&dep.material().params, &forged)
         .unwrap();
     // The mixed-epoch combination is NOT a valid signature.
-    assert!(!dep
-        .scheme()
-        .verify(&dep.material().public_key, msg, &sig));
+    assert!(!dep.scheme().verify(&dep.material().public_key, msg, &sig));
     // And the stale partials individually fail share verification.
     for s in &stolen_epoch0 {
         let p = dep.scheme().share_sign(s, msg);
-        assert!(!dep.scheme().share_verify(
-            &dep.material().verification_keys[&s.index],
-            msg,
-            &p
-        ));
+        assert!(!dep
+            .scheme()
+            .share_verify(&dep.material().verification_keys[&s.index], msg, &p));
     }
 }
 

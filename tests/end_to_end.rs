@@ -76,7 +76,9 @@ fn four_schemes_coexist() {
     // §3 ROM.
     let ro = ThresholdScheme::new(b"coexist");
     let km = ro.dealer_keygen(params, &mut rng);
-    let p: Vec<_> = (1..=2u32).map(|i| ro.share_sign(&km.shares[&i], msg)).collect();
+    let p: Vec<_> = (1..=2u32)
+        .map(|i| ro.share_sign(&km.shares[&i], msg))
+        .collect();
     assert!(ro.verify(&km.public_key, msg, &ro.combine(&params, &p).unwrap()));
 
     // Appendix F DLIN.
@@ -156,6 +158,9 @@ fn aggregate_of_dkg_born_authorities() {
         chain.push((pk, msg, sig));
     }
     let agg = scheme.aggregate(&chain).unwrap();
-    let statements: Vec<_> = chain.iter().map(|(p, m, _)| (p.clone(), m.clone())).collect();
+    let statements: Vec<_> = chain
+        .iter()
+        .map(|(p, m, _)| (p.clone(), m.clone()))
+        .collect();
     assert!(scheme.aggregate_verify(&statements, &agg));
 }

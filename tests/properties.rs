@@ -3,7 +3,7 @@
 //! serialization, and scheme-level determinism.
 
 use borndist::lhsps::{DpParams, OneTimeSecretKey};
-use borndist::pairing::{Fr, G1Projective, G2Projective, Gt, pairing};
+use borndist::pairing::{pairing, Fr, G1Projective, G2Projective, Gt};
 use borndist::shamir::{
     interpolate_at, lagrange_coefficients_at_zero, reconstruct, share, Polynomial, Share,
     ThresholdParams,
@@ -95,7 +95,7 @@ proptest! {
     #[test]
     fn lhsps_key_homomorphism(seed in seeds()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let params = DpParams::random(&mut rng);
+        let _params = DpParams::random(&mut rng);
         let sk1 = OneTimeSecretKey::random(2, &mut rng);
         let sk2 = OneTimeSecretKey::random(2, &mut rng);
         let msg: Vec<G1Projective> = (0..2).map(|_| G1Projective::random(&mut rng)).collect();
