@@ -43,6 +43,14 @@ fn bench_aggregate(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("aggregate_verify", l), &l, |b, _| {
             b.iter(|| scheme.aggregate_verify(&statements, &agg))
         });
+        // The core::batch fold: per-key sanity checks merged into the
+        // product equation — one Miller loop and final exponentiation.
+        let mut rng = bench_rng();
+        g.bench_with_input(
+            BenchmarkId::new("aggregate_verify_batched", l),
+            &l,
+            |b, _| b.iter(|| scheme.aggregate_verify_batched(&statements, &agg, &mut rng)),
+        );
         g.bench_with_input(BenchmarkId::new("individual_verify", l), &l, |b, _| {
             b.iter(|| inputs.iter().all(|(pk, m, s)| scheme.verify(pk, m, s)))
         });

@@ -3,8 +3,8 @@
 
 use borndist_bench::bench_rng;
 use borndist_pairing::{
-    hash_to_g1, hash_to_g2, msm, multi_pairing, pairing, Fr, G1Affine, G1Projective, G2Affine,
-    G2Projective,
+    hash_to_g1, hash_to_g2, msm, mul_g1_generator, multi_pairing, pairing, FixedBaseTable, Fr,
+    G1Affine, G1Projective, G2Affine, G2Projective,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -66,5 +66,38 @@ fn bench_group_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pairing, bench_group_ops);
+/// The scalar-multiplication ladder: schoolbook double-and-add (the
+/// reference slow path) vs wNAF (the default) vs fixed-base tables.
+fn bench_scalar_mul_paths(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let s = Fr::random(&mut rng);
+    let base = G1Projective::random(&mut rng);
+    let table = FixedBaseTable::new(&base);
+
+    let mut g = c.benchmark_group("scalar_mul_paths");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("g1_schoolbook", |b| {
+        b.iter(|| base.mul_schoolbook(&s.to_le_bits()))
+    });
+    g.bench_function("g1_wnaf", |b| b.iter(|| base.mul(&s)));
+    g.bench_function("g1_fixed_base_table", |b| b.iter(|| table.mul(&s)));
+    g.bench_function("g1_generator_table", |b| b.iter(|| mul_g1_generator(&s)));
+    // MSM regimes around the window table boundaries.
+    for n in [4usize, 16, 128] {
+        let bases: Vec<G1Affine> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        g.bench_function(format!("msm_{}", n), |b| b.iter(|| msm(&bases, &scalars)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pairing,
+    bench_group_ops,
+    bench_scalar_mul_paths
+);
 criterion_main!(benches);

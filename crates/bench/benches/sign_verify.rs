@@ -1,10 +1,14 @@
 //! E2 — the §3.1 cost claims: signing is "two multi-exponentiations with
 //! two base elements and two hash-on-curve operations"; verification is
 //! "a product of four pairings". Measured against the Boldyreva and plain
-//! BLS baselines.
+//! BLS baselines, plus the `core::batch` batched-verification fast path
+//! (`k` signatures through one shared four-pairing product; the ≥ 3×
+//! acceptance measurement lives in `examples/batch_throughput.rs` /
+//! BENCH_batch_verify.json).
 
 use borndist_baselines::{bls, boldyreva};
 use borndist_bench::{bench_rng, ro_setup, MESSAGE};
+use borndist_core::ro::Signature;
 use borndist_shamir::ThresholdParams;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -33,6 +37,49 @@ fn bench_ro_scheme(c: &mut Criterion) {
     g.bench_function("verify", |b| {
         b.iter(|| scheme.verify(&km.public_key, MESSAGE, &sig))
     });
+    g.finish();
+}
+
+/// Batched verification vs the sequential slow path, for batch sizes
+/// spanning the combiner (t+1 shares) and verifier (many signatures)
+/// workloads.
+fn bench_batch_verify(c: &mut Criterion) {
+    let (scheme, km) = ro_setup(5, 16);
+    let mut rng = bench_rng();
+    let msgs: Vec<Vec<u8>> = (0..64)
+        .map(|i| format!("batched message {}", i).into_bytes())
+        .collect();
+    let sigs: Vec<Signature> = msgs
+        .iter()
+        .map(|m| {
+            let partials: Vec<_> = (1..=6u32)
+                .map(|i| scheme.share_sign(&km.shares[&i], m))
+                .collect();
+            scheme.combine(&km.params, &partials).unwrap()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("e2_batch_verify");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    for k in [16usize, 64] {
+        let items: Vec<(&[u8], &Signature)> = msgs[..k]
+            .iter()
+            .zip(sigs[..k].iter())
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        g.bench_function(format!("batch_{}", k), |b| {
+            b.iter(|| scheme.batch_verify(&km.public_key, &items, &mut rng))
+        });
+        g.bench_function(format!("sequential_{}", k), |b| {
+            b.iter(|| {
+                items
+                    .iter()
+                    .all(|(m, s)| scheme.verify(&km.public_key, m, s))
+            })
+        });
+    }
     g.finish();
 }
 
@@ -68,5 +115,10 @@ fn bench_baselines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ro_scheme, bench_baselines);
+criterion_group!(
+    benches,
+    bench_ro_scheme,
+    bench_baselines,
+    bench_batch_verify
+);
 criterion_main!(benches);

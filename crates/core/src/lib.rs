@@ -12,7 +12,10 @@
 //! * [`dlin`] — the Appendix F variant under the (weaker) DLIN assumption,
 //!   with 3-element signatures and two verification equations;
 //! * [`standard`] — the §4 standard-model scheme over Groth–Sahai proofs;
-//! * [`proactive`] — §3.3 proactive epochs (refresh + share recovery).
+//! * [`proactive`] — §3.3 proactive epochs (refresh + share recovery);
+//! * [`batch`] — small-exponent randomized batch verification: `k`
+//!   signatures (or `k` signature shares during `Combine`) checked with
+//!   one shared multi-pairing instead of `4k` pairings (DESIGN.md §2).
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod batch;
 pub mod dlin;
 pub mod proactive;
 pub mod ro;

@@ -345,53 +345,6 @@ impl ThresholdScheme {
         vk.pk.verify(&self.params, &h, &psig.sig)
     }
 
-    /// Batch-verifies many partial signatures on the *same* message with
-    /// small-exponent batching: one four-pairing product plus four MSMs
-    /// replaces `k` separate four-pairing products. Sound except with
-    /// probability ≈ 2⁻²⁵⁵ over the verifier's random weights.
-    ///
-    /// Returns `true` only if **every** partial verifies; on `false`,
-    /// fall back to [`Self::share_verify`] per item to locate offenders.
-    pub fn batch_share_verify<R: RngCore + ?Sized>(
-        &self,
-        vks: &BTreeMap<u32, VerificationKey>,
-        msg: &[u8],
-        partials: &[PartialSignature],
-        rng: &mut R,
-    ) -> bool {
-        if partials.is_empty() {
-            return true;
-        }
-        let Some(vk_list) = partials
-            .iter()
-            .map(|p| vks.get(&p.index).filter(|vk| vk.index == p.index))
-            .collect::<Option<Vec<&VerificationKey>>>()
-        else {
-            return false;
-        };
-        let h = self.hash_message(msg);
-        let h_affine = G1Projective::batch_to_affine(&h);
-        // Random weights ρ_i; the batched equation is
-        //   e(Π z_i^ρi, ĝ_z)·e(Π r_i^ρi, ĝ_r)
-        //     ·e(H_1, Π V̂_{1,i}^ρi)·e(H_2, Π V̂_{2,i}^ρi) = 1.
-        let rho: Vec<Fr> = partials.iter().map(|_| Fr::random_nonzero(rng)).collect();
-        let zs: Vec<_> = partials.iter().map(|p| p.sig.z).collect();
-        let rs: Vec<_> = partials.iter().map(|p| p.sig.r).collect();
-        let v1: Vec<_> = vk_list.iter().map(|vk| vk.pk.g_hat[0]).collect();
-        let v2: Vec<_> = vk_list.iter().map(|vk| vk.pk.g_hat[1]).collect();
-        let z_comb = borndist_pairing::msm(&zs, &rho).to_affine();
-        let r_comb = borndist_pairing::msm(&rs, &rho).to_affine();
-        let v1_comb = borndist_pairing::msm(&v1, &rho).to_affine();
-        let v2_comb = borndist_pairing::msm(&v2, &rho).to_affine();
-        borndist_pairing::multi_pairing(&[
-            (&z_comb, &self.params.g_z),
-            (&r_comb, &self.params.g_r),
-            (&h_affine[0], &v1_comb),
-            (&h_affine[1], &v2_comb),
-        ])
-        .is_identity()
-    }
-
     /// `Combine`: Lagrange interpolation in the exponent over any
     /// `≥ t+1` partial signatures (assumed valid; see
     /// [`Self::combine_verified`] for the robust variant).

@@ -26,7 +26,9 @@ use borndist_dkg::{run_dkg, Behavior, DkgConfig, SharingMode};
 use borndist_grothsahai as gs;
 use borndist_lhsps::DpParams;
 use borndist_net::Metrics;
-use borndist_pairing::{hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G2Affine, G2Projective};
+use borndist_pairing::{
+    hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G1Table, G2Affine, G2Projective,
+};
 use borndist_shamir::{
     lagrange_coefficients_at_zero, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
 };
@@ -60,6 +62,11 @@ pub struct StandardParams {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StandardScheme {
     params: StandardParams,
+    /// Fixed-base window table for the long-lived signing base `g`
+    /// ([`StandardParams::g`]): `Share-Sign` multiplies `g` by two fresh
+    /// scalars per call, so the one-time table cost amortizes across the
+    /// scheme's lifetime (DESIGN.md §2).
+    g_table: G1Table,
 }
 
 /// Public key `PK = ĝ₁ = ĝ_z^{a} ĝ_r^{b}`.
@@ -147,9 +154,10 @@ impl StandardScheme {
         let f_bits = (0..=MESSAGE_BITS)
             .map(|i| (g1(&format!("/f{}/1", i)), g1(&format!("/f{}/2", i))))
             .collect();
+        let g = g1("/g");
         StandardScheme {
             params: StandardParams {
-                g: g1("/g"),
+                g,
                 dp: DpParams {
                     g_z: g2("/g_z"),
                     g_r: g2("/g_r"),
@@ -157,6 +165,7 @@ impl StandardScheme {
                 f: (g1("/f/1"), g1("/f/2")),
                 f_bits,
             },
+            g_table: G1Table::new(&g.to_projective()),
         }
     }
 
@@ -300,9 +309,8 @@ impl StandardScheme {
     ) -> StdPartialSignature {
         let digest = self.message_digest(msg);
         let crs = self.message_crs(&digest);
-        let g = self.params.g.to_projective();
-        let z = g.mul(&(-share.a));
-        let r = g.mul(&(-share.b));
+        let z = self.g_table.mul(&(-share.a));
+        let r = self.g_table.mul(&(-share.b));
         let (c_z, rand_z) = crs.commit(&z, rng);
         let (c_r, rand_r) = crs.commit(&r, rng);
         let proof = gs::prove(&[self.params.dp.g_z, self.params.dp.g_r], &[rand_z, rand_r]);

@@ -266,14 +266,58 @@ impl<C: CurveParams> Projective<C> {
         }
     }
 
-    /// Variable-time scalar multiplication by a field scalar.
+    /// Variable-time scalar multiplication by a field scalar (width-4
+    /// wNAF; see [`Self::mul_schoolbook`] for the reference slow path).
     pub fn mul(&self, scalar: &Fr) -> Self {
         self.mul_vartime_limbs(&scalar.to_le_bits())
     }
 
     /// Variable-time scalar multiplication by an arbitrary little-endian
-    /// limb integer (used for cofactor clearing and subgroup checks).
+    /// limb integer (also used for cofactor clearing and subgroup
+    /// checks).
+    ///
+    /// Uses width-4 wNAF: a 4-entry table of odd multiples
+    /// `{1, 3, 5, 7}·P` and on average one addition per 5 bits, versus
+    /// one per 2 bits for the schoolbook ladder. Equivalence with
+    /// [`Self::mul_schoolbook`] is enforced by property tests.
     pub fn mul_vartime_limbs(&self, limbs: &[u64]) -> Self {
+        const WIDTH: usize = 4;
+        if self.is_identity() {
+            return *self;
+        }
+        let digits = crate::arith::wnaf_digits(limbs, WIDTH);
+        if digits.is_empty() {
+            return Self::identity();
+        }
+        // Odd multiples 1P, 3P, 5P, 7P.
+        let twice = self.double();
+        let mut table = [Self::identity(); 1 << (WIDTH - 2)];
+        let mut cur = *self;
+        for slot in table.iter_mut() {
+            *slot = cur;
+            cur = cur.add(&twice);
+        }
+        // The top digit of a non-zero scalar is positive (the remainder
+        // is non-negative throughout the recoding), so the accumulator
+        // starts from a table entry with no leading doublings.
+        let top = digits[digits.len() - 1];
+        debug_assert!(top > 0, "wNAF top digit must be positive");
+        let mut acc = table[(top as usize - 1) / 2];
+        for &d in digits.iter().rev().skip(1) {
+            acc = acc.double();
+            if d > 0 {
+                acc = acc.add(&table[(d as usize - 1) / 2]);
+            } else if d < 0 {
+                acc = acc.add(&table[((-d) as usize - 1) / 2].neg());
+            }
+        }
+        acc
+    }
+
+    /// Reference double-and-add scalar multiplication — the deliberately
+    /// unoptimized slow path that every fast path (wNAF, fixed-base
+    /// tables, MSM) is property-tested against.
+    pub fn mul_schoolbook(&self, limbs: &[u64]) -> Self {
         let mut acc = Self::identity();
         let mut started = false;
         for limb in limbs.iter().rev() {
@@ -314,33 +358,28 @@ impl<C: CurveParams> Projective<C> {
         }
     }
 
-    /// Converts many points to affine with a single inversion
-    /// (Montgomery's batch-inversion trick).
+    /// Converts many points to affine with a single field inversion
+    /// ([`crate::batch_invert`], Montgomery's trick). Identity points map
+    /// to the affine identity.
     pub fn batch_to_affine(points: &[Self]) -> Vec<Affine<C>> {
-        let mut prods = Vec::with_capacity(points.len());
-        let mut acc = C::Base::one();
-        for p in points {
-            prods.push(acc);
-            if !p.is_identity() {
-                acc *= p.z;
-            }
-        }
-        let mut inv = acc.invert().expect("product of non-zero z is non-zero");
-        let mut out = vec![Affine::identity(); points.len()];
-        for (i, p) in points.iter().enumerate().rev() {
-            if p.is_identity() {
-                continue;
-            }
-            let zinv = prods[i] * inv;
-            inv *= p.z;
-            let zinv2 = zinv.square();
-            out[i] = Affine {
-                x: p.x * zinv2,
-                y: p.y * zinv2 * zinv,
-                infinity: false,
-            };
-        }
-        out
+        let mut zs: Vec<C::Base> = points.iter().map(|p| p.z).collect();
+        crate::traits::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(zs)
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    Affine::identity()
+                } else {
+                    let zinv2 = zinv.square();
+                    Affine {
+                        x: p.x * zinv2,
+                        y: p.y * zinv2 * zinv,
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Samples a uniformly random subgroup element.

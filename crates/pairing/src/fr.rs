@@ -4,7 +4,7 @@
 //! field for all secret sharing: private key shares, polynomial
 //! coefficients and Lagrange multipliers are `Fr` elements.
 
-use crate::arith::{adc, impl_montgomery_field, mac, sbb};
+use crate::arith::{adc, impl_montgomery_field, mac, sbb, wnaf_digits};
 use crate::constants::*;
 use crate::traits::Field;
 
@@ -26,6 +26,19 @@ impl Fr {
     /// for use in double-and-add loops.
     pub fn to_le_bits(&self) -> [u64; 4] {
         self.to_canonical_limbs()
+    }
+
+    /// Recodes the scalar into width-`w` NAF signed digits (little-endian
+    /// positions; non-zero digits are odd, `|d| < 2^(w-1)`), the form
+    /// consumed by windowed scalar multiplication. See
+    /// [`crate::Projective::mul`] for the consumer and the property tests
+    /// for the equivalence with plain double-and-add.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= width <= 7`.
+    pub fn to_wnaf(&self, width: usize) -> Vec<i8> {
+        wnaf_digits(&self.to_canonical_limbs(), width)
     }
 
     /// Samples a uniformly random *non-zero* scalar.

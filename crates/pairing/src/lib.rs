@@ -16,6 +16,8 @@
 //! * [`hash_to_g1`], [`hash_to_g2`], [`hash_to_g1_vector`], [`hash_to_fr`]
 //!   — the paper's random oracles;
 //! * [`msm`] — multi-scalar multiplication ("Lagrange in the exponent");
+//! * [`FixedBaseTable`], [`batch_invert`] — the precomputation and
+//!   batching layer under the hot verify path (DESIGN.md §2);
 //! * [`Sha256`] — the only hash primitive, also written from scratch.
 //!
 //! ## Example
@@ -49,6 +51,7 @@ mod fr;
 mod hash_to_curve;
 mod msm;
 mod pairing;
+pub mod precompute;
 mod sha256;
 mod traits;
 
@@ -64,5 +67,9 @@ pub use fr::Fr;
 pub use hash_to_curve::{hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2};
 pub use msm::msm;
 pub use pairing::{multi_pairing, pairing, Gt};
+pub use precompute::{
+    g1_generator_table, g2_generator_table, mul_g1_generator, mul_g2_generator, FixedBaseTable,
+    G1Table, G2Table,
+};
 pub use sha256::{expand_message, sha256, sha256_tagged, Sha256};
-pub use traits::Field;
+pub use traits::{batch_invert, Field};

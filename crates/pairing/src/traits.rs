@@ -61,3 +61,34 @@ pub trait Field:
         res
     }
 }
+
+/// Montgomery batch inversion: replaces every non-zero element of
+/// `elems` by its multiplicative inverse using a *single* field inversion
+/// plus `3(n-1)` multiplications; zeros are left untouched.
+///
+/// This is the amortization behind [`crate::Projective::batch_to_affine`]
+/// and the affine bucket collapse inside [`crate::msm`]; one inversion
+/// costs hundreds of multiplications (Fermat exponentiation), so batching
+/// it across `n` elements is what makes affine-coordinate fast paths pay
+/// off.
+pub fn batch_invert<F: Field>(elems: &mut [F]) {
+    // Prefix products, skipping zeros so they are preserved.
+    let mut prefix = Vec::with_capacity(elems.len());
+    let mut acc = F::one();
+    for e in elems.iter() {
+        prefix.push(acc);
+        if !e.is_zero() {
+            acc *= *e;
+        }
+    }
+    // `acc` is a product of non-zero elements (or one), hence invertible.
+    let mut inv = acc.invert().expect("product of non-zero elements");
+    for (e, p) in elems.iter_mut().zip(prefix).rev() {
+        if e.is_zero() {
+            continue;
+        }
+        let e_inv = p * inv;
+        inv *= *e;
+        *e = e_inv;
+    }
+}

@@ -1,0 +1,102 @@
+//! Known-answer tests pinning the substrate to external truth: the
+//! standard BLS12-381 generator encodings (ZCash serialization), the
+//! bilinearity contract of the pairing, and structural guarantees of
+//! hash-to-curve. These cannot drift without failing against constants
+//! computed *outside* this repository.
+
+use borndist_pairing::{
+    hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2, pairing, Fr, G1Affine, G1Projective,
+    G2Affine, G2Projective, Gt,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{:02x}", b)).collect()
+}
+
+/// The IETF/ZCash compressed encoding of the standard G1 generator.
+const G1_GENERATOR_COMPRESSED: &str = "97f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb";
+
+/// The IETF/ZCash compressed encoding of the standard G2 generator.
+const G2_GENERATOR_COMPRESSED: &str = "93e02b6052719f607dacd3a088274f65596bd0d09920b61ab5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8";
+
+#[test]
+fn g1_generator_known_answer() {
+    let gen = G1Affine::generator();
+    assert_eq!(hex(&gen.to_compressed()), G1_GENERATOR_COMPRESSED);
+    // And the decoder round-trips the canonical bytes.
+    let mut bytes = [0u8; 48];
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = u8::from_str_radix(&G1_GENERATOR_COMPRESSED[2 * i..2 * i + 2], 16).unwrap();
+    }
+    assert_eq!(G1Affine::from_compressed(&bytes).unwrap(), gen);
+}
+
+#[test]
+fn g2_generator_known_answer() {
+    let gen = G2Affine::generator();
+    assert_eq!(hex(&gen.to_compressed()), G2_GENERATOR_COMPRESSED);
+    let mut bytes = [0u8; 96];
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = u8::from_str_radix(&G2_GENERATOR_COMPRESSED[2 * i..2 * i + 2], 16).unwrap();
+    }
+    assert_eq!(G2Affine::from_compressed(&bytes).unwrap(), gen);
+}
+
+#[test]
+fn bilinearity_exact() {
+    // e(aP, bQ) = e(P, Q)^(ab) on deterministic scalars, plus the
+    // degenerate cases that anchor the exponent arithmetic.
+    let mut rng = StdRng::seed_from_u64(0x0b11);
+    for _ in 0..3 {
+        let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+        let p = G1Projective::generator().mul(&a).to_affine();
+        let q = G2Projective::generator().mul(&b).to_affine();
+        assert_eq!(pairing(&p, &q), Gt::generator().pow(&(a * b)));
+    }
+    // Fixed small exponents: e(2P, 3Q) = e(P, Q)^6.
+    let p2 = G1Projective::generator().mul(&Fr::from_u64(2)).to_affine();
+    let q3 = G2Projective::generator().mul(&Fr::from_u64(3)).to_affine();
+    assert_eq!(pairing(&p2, &q3), Gt::generator().pow(&Fr::from_u64(6)));
+    // Non-degeneracy and order r.
+    assert!(!Gt::generator().is_identity());
+    let r_minus_1 = -Fr::one();
+    assert!((Gt::generator().pow(&r_minus_1) * Gt::generator()).is_identity());
+}
+
+#[test]
+fn hash_to_curve_lands_in_subgroup() {
+    for (i, msg) in [b"".as_slice(), b"abc", b"known answer test vector"]
+        .iter()
+        .enumerate()
+    {
+        let p = hash_to_g1(b"borndist/kat/g1", msg);
+        assert!(p.is_on_curve(), "g1 case {}", i);
+        assert!(p.is_torsion_free(), "g1 case {}", i);
+        assert!(!p.is_identity(), "g1 case {}", i);
+        let q = hash_to_g2(b"borndist/kat/g2", msg);
+        assert!(q.is_on_curve(), "g2 case {}", i);
+        assert!(q.is_torsion_free(), "g2 case {}", i);
+        assert!(!q.is_identity(), "g2 case {}", i);
+    }
+}
+
+#[test]
+fn hash_to_curve_is_deterministic_and_domain_separated() {
+    let a = hash_to_g1(b"dst-one", b"message");
+    assert_eq!(a, hash_to_g1(b"dst-one", b"message"));
+    assert_ne!(a, hash_to_g1(b"dst-two", b"message"));
+    assert_ne!(a, hash_to_g1(b"dst-one", b"other message"));
+    // Vector hashes produce independent coordinates, all in-subgroup.
+    let v = hash_to_g1_vector(b"dst-vec", b"message", 3);
+    assert_eq!(v.len(), 3);
+    for p in &v {
+        assert!(p.is_torsion_free());
+    }
+    assert_ne!(v[0], v[1]);
+    assert_ne!(v[1], v[2]);
+    // Scalar hashing is deterministic too.
+    assert_eq!(hash_to_fr(b"dst", b"m"), hash_to_fr(b"dst", b"m"));
+    assert_ne!(hash_to_fr(b"dst", b"m"), hash_to_fr(b"dst", b"n"));
+}

@@ -1,0 +1,215 @@
+//! Batch-verification throughput measurement (the acceptance gauge for
+//! the `core::batch` subsystem): verifies 64 signatures sequentially and
+//! as one randomized batch, on the §3 ROM scheme, the partial-signature
+//! path, the Appendix G aggregate statements, and the §4 standard-model
+//! scheme, then prints a JSON record (the BENCH_batch_verify.json
+//! trajectory point; prose summary in EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release --example batch_throughput`
+
+use borndist::core::ro::{PartialSignature, Signature, ThresholdScheme};
+use borndist::core::standard::{StandardScheme, StdPartialSignature, StdSignature};
+use borndist::core::{AggPublicKey, AggregateScheme};
+use borndist::shamir::ThresholdParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+/// Median-of-`REPS` wall-clock milliseconds for `f`.
+fn time_ms<F: FnMut() -> bool>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            assert!(f(), "measured path must accept valid input");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[REPS / 2]
+}
+
+struct Row {
+    name: &'static str,
+    k: usize,
+    sequential_ms: f64,
+    batch_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.sequential_ms / self.batch_ms
+    }
+}
+
+fn ro_rows(rng: &mut StdRng) -> Vec<Row> {
+    let scheme = ThresholdScheme::new(b"batch-throughput");
+    let params = ThresholdParams::new(5, 16).unwrap();
+    let km = scheme.dealer_keygen(params, rng);
+    let k = 64usize;
+    let msgs: Vec<Vec<u8>> = (0..k)
+        .map(|i| format!("message {}", i).into_bytes())
+        .collect();
+    let sigs: Vec<Signature> = msgs
+        .iter()
+        .map(|m| {
+            let partials: Vec<PartialSignature> = (1..=6u32)
+                .map(|i| scheme.share_sign(&km.shares[&i], m))
+                .collect();
+            scheme.combine(&km.params, &partials).unwrap()
+        })
+        .collect();
+    let items: Vec<(&[u8], &Signature)> = msgs
+        .iter()
+        .zip(sigs.iter())
+        .map(|(m, s)| (m.as_slice(), s))
+        .collect();
+    let sequential = time_ms(|| {
+        items
+            .iter()
+            .all(|(m, s)| scheme.verify(&km.public_key, m, s))
+    });
+    let mut r2 = StdRng::seed_from_u64(1);
+    let batch = time_ms(|| scheme.batch_verify(&km.public_key, &items, &mut r2));
+
+    // Partial signatures: the Combine pre-filter workload.
+    let km64 = scheme.dealer_keygen(ThresholdParams::new(20, 64).unwrap(), rng);
+    let msg = b"share batch";
+    let partials: Vec<PartialSignature> = (1..=64u32)
+        .map(|i| scheme.share_sign(&km64.shares[&i], msg))
+        .collect();
+    let seq_shares = time_ms(|| {
+        partials
+            .iter()
+            .all(|p| scheme.share_verify(&km64.verification_keys[&p.index], msg, p))
+    });
+    let mut r3 = StdRng::seed_from_u64(2);
+    let batch_shares =
+        time_ms(|| scheme.batch_share_verify(&km64.verification_keys, msg, &partials, &mut r3));
+
+    vec![
+        Row {
+            name: "ro_signatures",
+            k,
+            sequential_ms: sequential,
+            batch_ms: batch,
+        },
+        Row {
+            name: "ro_shares",
+            k: 64,
+            sequential_ms: seq_shares,
+            batch_ms: batch_shares,
+        },
+    ]
+}
+
+fn aggregate_row(rng: &mut StdRng) -> Row {
+    let scheme = AggregateScheme::new(b"batch-throughput-agg");
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let l = 16usize;
+    let inputs: Vec<(AggPublicKey, Vec<u8>, Signature)> = (0..l)
+        .map(|i| {
+            let (pk, km) = scheme.dealer_keygen(params, rng);
+            let msg = format!("certificate {}", i).into_bytes();
+            let partials: Vec<PartialSignature> = (1..=2u32)
+                .map(|j| scheme.share_sign(&pk, &km.shares[&j], &msg))
+                .collect();
+            (pk, msg, scheme.combine(&params, &partials).unwrap())
+        })
+        .collect();
+    let agg = scheme.aggregate(&inputs).unwrap();
+    let statements: Vec<(AggPublicKey, Vec<u8>)> = inputs
+        .iter()
+        .map(|(pk, m, _)| (pk.clone(), m.clone()))
+        .collect();
+    let sequential = time_ms(|| scheme.aggregate_verify(&statements, &agg));
+    let mut r2 = StdRng::seed_from_u64(3);
+    let batch = time_ms(|| scheme.aggregate_verify_batched(&statements, &agg, &mut r2));
+    Row {
+        name: "aggregate_statements",
+        k: l,
+        sequential_ms: sequential,
+        batch_ms: batch,
+    }
+}
+
+fn standard_row(rng: &mut StdRng) -> Row {
+    let scheme = StandardScheme::new(b"batch-throughput-std");
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let km = scheme.dealer_keygen(params, rng);
+    let k = 16usize;
+    let msgs: Vec<Vec<u8>> = (0..k).map(|i| format!("std {}", i).into_bytes()).collect();
+    let sigs: Vec<StdSignature> = msgs
+        .iter()
+        .map(|m| {
+            let partials: Vec<StdPartialSignature> = (1..=2u32)
+                .map(|i| scheme.share_sign(&km.shares[&i], m, rng))
+                .collect();
+            scheme.combine(&km.params, m, &partials, rng).unwrap()
+        })
+        .collect();
+    let items: Vec<(&[u8], &StdSignature)> = msgs
+        .iter()
+        .zip(sigs.iter())
+        .map(|(m, s)| (m.as_slice(), s))
+        .collect();
+    let sequential = time_ms(|| {
+        items
+            .iter()
+            .all(|(m, s)| scheme.verify(&km.public_key, m, s))
+    });
+    let mut r2 = StdRng::seed_from_u64(4);
+    let batch = time_ms(|| scheme.batch_verify(&km.public_key, &items, &mut r2));
+    Row {
+        name: "standard_signatures",
+        k,
+        sequential_ms: sequential,
+        batch_ms: batch,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let mut rows = ro_rows(&mut rng);
+    rows.push(aggregate_row(&mut rng));
+    rows.push(standard_row(&mut rng));
+
+    println!(
+        "== batch verification throughput (median of {} reps) ==",
+        REPS
+    );
+    for r in &rows {
+        println!(
+            "   {:<22} k={:<3} sequential {:>9.2} ms   batch {:>8.2} ms   speedup {:>5.1}x",
+            r.name,
+            r.k,
+            r.sequential_ms,
+            r.batch_ms,
+            r.speedup()
+        );
+    }
+    let headline = &rows[0];
+    assert!(
+        headline.speedup() >= 3.0,
+        "acceptance: batch of 64 must be >= 3x sequential (got {:.1}x)",
+        headline.speedup()
+    );
+
+    // Machine-readable record (BENCH_batch_verify.json).
+    let mut json = String::from("{\n  \"bench\": \"batch_verify\",\n  \"unit\": \"ms\",\n");
+    json.push_str(&format!("  \"reps\": {},\n  \"rows\": [\n", REPS));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"k\": {}, \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.k,
+            r.sequential_ms,
+            r.batch_ms,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}");
+    println!("\n{}", json);
+}

@@ -73,6 +73,41 @@ fn main() {
     // Two shares are not enough.
     assert!(scheme.combine(&params, &partials[..2]).is_err());
     println!("   t = 2 shares alone cannot sign: true");
+
+    // The serving-scale hot path: verify a pile of signatures with ONE
+    // four-pairing product (randomized batching, core::batch) instead of
+    // one product per signature.
+    println!("\n== Batch-Verify: 8 signatures, one multi-pairing ==");
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0xBA7C)
+    };
+    let batch_msgs: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("payment #{}", i).into_bytes())
+        .collect();
+    let batch_sigs: Vec<_> = batch_msgs
+        .iter()
+        .map(|m| {
+            let ps: Vec<_> = [1u32, 2, 3]
+                .iter()
+                .map(|i| scheme.share_sign(&km.shares[i], m))
+                .collect();
+            scheme.combine(&params, &ps).unwrap()
+        })
+        .collect();
+    let items: Vec<(&[u8], &_)> = batch_msgs
+        .iter()
+        .zip(batch_sigs.iter())
+        .map(|(m, s)| (m.as_slice(), s))
+        .collect();
+    let all_valid = scheme.batch_verify(&km.public_key, &items, &mut rng);
+    println!("   all 8 verify in one shot: {}", all_valid);
+    assert!(all_valid);
+    // A single forgery sinks the whole batch (then fall back per item).
+    let mut forged = items.clone();
+    forged[5].1 = items[6].1;
+    assert!(!scheme.batch_verify(&km.public_key, &forged, &mut rng));
+    println!("   a hidden forgery is caught: true");
 }
 
 fn hex_prefix(bytes: &[u8]) -> String {

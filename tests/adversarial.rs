@@ -173,3 +173,123 @@ fn byzantine_refresh_dealer_cannot_shift_the_key() {
         .unwrap();
     assert!(dep.scheme().verify(&dep.material().public_key, msg, &sig));
 }
+
+// ---------------------------------------------------------------------
+// Adversarial batch verification (core::batch): a single forgery hidden
+// in a large batch must be caught, and the batch decision must agree
+// with per-signature verification on deterministic seeds.
+// ---------------------------------------------------------------------
+
+mod batch_adversarial {
+    use borndist::core::ro::{PartialSignature, Signature, ThresholdScheme};
+    use borndist::shamir::ThresholdParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn signed_batch(
+        scheme: &ThresholdScheme,
+        km: &borndist::core::ro::KeyMaterial,
+        count: usize,
+    ) -> (Vec<Vec<u8>>, Vec<Signature>) {
+        let msgs: Vec<Vec<u8>> = (0..count)
+            .map(|i| format!("batch message {}", i).into_bytes())
+            .collect();
+        let sigs = msgs
+            .iter()
+            .map(|m| {
+                let partials: Vec<PartialSignature> = (1..=2u32)
+                    .map(|j| scheme.share_sign(&km.shares[&j], m))
+                    .collect();
+                scheme.combine(&km.params, &partials).unwrap()
+            })
+            .collect();
+        (msgs, sigs)
+    }
+
+    #[test]
+    fn one_forged_signature_in_64_is_rejected() {
+        let scheme = ThresholdScheme::new(b"adv-batch-64");
+        let mut rng = StdRng::seed_from_u64(0x64);
+        let km = scheme.dealer_keygen(ThresholdParams::new(1, 3).unwrap(), &mut rng);
+        let (msgs, mut sigs) = signed_batch(&scheme, &km, 64);
+        let items: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(sigs.iter())
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert!(scheme.batch_verify(&km.public_key, &items, &mut rng));
+
+        // Hide a single forgery (a valid signature on a *different*
+        // message) at an arbitrary position among 63 valid ones.
+        let stolen = sigs[0];
+        sigs[37] = stolen;
+        let items: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(sigs.iter())
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert!(
+            !scheme.batch_verify(&km.public_key, &items, &mut rng),
+            "forgery at position 37 slipped through the batch"
+        );
+    }
+
+    #[test]
+    fn one_forged_share_in_64_is_rejected() {
+        // 64 signers on one message; a single corrupted partial must sink
+        // the batched Share-Verify used by Combine.
+        let scheme = ThresholdScheme::new(b"adv-batch-shares");
+        let mut rng = StdRng::seed_from_u64(0x65);
+        let km = scheme.dealer_keygen(ThresholdParams::new(20, 64).unwrap(), &mut rng);
+        let msg = b"share batch";
+        let mut partials: Vec<PartialSignature> = (1..=64u32)
+            .map(|i| scheme.share_sign(&km.shares[&i], msg))
+            .collect();
+        assert!(scheme.batch_share_verify(&km.verification_keys, msg, &partials, &mut rng));
+        partials[41].sig.r = partials[3].sig.r;
+        assert!(
+            !scheme.batch_share_verify(&km.verification_keys, msg, &partials, &mut rng),
+            "forged share at position 41 slipped through"
+        );
+        // Robust combine still succeeds by falling back to the filter
+        // (a t+2-sized slice keeps the per-share fallback cheap: 21
+        // valid of 22 with the forgery at position 10).
+        let mut slice: Vec<PartialSignature> = partials[..22].to_vec();
+        slice[10].sig.z = slice[2].sig.z;
+        let sig = scheme
+            .combine_batch_verified(&km.params, &km.verification_keys, msg, &slice, &mut rng)
+            .unwrap();
+        assert!(scheme.verify(&km.public_key, msg, &sig));
+    }
+
+    #[test]
+    fn batch_decision_agrees_with_individual_verification() {
+        // Deterministic seeds; each round corrupts a pseudo-random subset
+        // (possibly empty) and cross-checks the batch verdict against
+        // per-signature verification.
+        let scheme = ThresholdScheme::new(b"adv-batch-agreement");
+        for seed in 0u64..4 {
+            let mut rng = StdRng::seed_from_u64(0xA6EE + seed);
+            let km = scheme.dealer_keygen(ThresholdParams::new(1, 3).unwrap(), &mut rng);
+            let (msgs, mut sigs) = signed_batch(&scheme, &km, 8);
+            // Corrupt position i with probability 1/4, deterministically.
+            use rand::RngCore;
+            for i in 0..sigs.len() {
+                if rng.next_u64() % 4 == 0 {
+                    let other = (i + 1) % sigs.len();
+                    sigs[i] = sigs[other];
+                }
+            }
+            let items: Vec<(&[u8], &Signature)> = msgs
+                .iter()
+                .zip(sigs.iter())
+                .map(|(m, s)| (m.as_slice(), s))
+                .collect();
+            let individual = items
+                .iter()
+                .all(|(m, s)| scheme.verify(&km.public_key, m, s));
+            let batched = scheme.batch_verify(&km.public_key, &items, &mut rng);
+            assert_eq!(batched, individual, "seed {} disagreement", seed);
+        }
+    }
+}

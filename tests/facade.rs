@@ -28,6 +28,13 @@ fn all_facade_reexports_resolve() {
     let _scheme = borndist::core::ro::ThresholdScheme::new(b"facade-test");
     // baselines
     let _bls: Option<borndist::baselines::BlsSignature> = None;
+    // precompute layer (pairing)
+    let table = borndist::pairing::g1_generator_table();
+    assert_eq!(
+        table.base(),
+        borndist::pairing::G1Projective::generator().to_affine()
+    );
+    let _t: Option<borndist::pairing::FixedBaseTable<borndist::pairing::G2Params>> = None;
 }
 
 /// The crate-level quickstart (also a doctest on `borndist_core`),
@@ -44,4 +51,23 @@ fn quickstart_flow_through_facade() {
     let sig = scheme.combine(&km.params, &[p1, p3]).unwrap();
     assert!(scheme.verify(&km.public_key, b"hello", &sig));
     assert!(!scheme.verify(&km.public_key, b"tampered", &sig));
+
+    // The batch-verification subsystem (core::batch) is reachable and
+    // consistent through the facade as well.
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(9)
+    };
+    let items: Vec<(&[u8], &borndist::core::Signature)> = vec![(b"hello".as_slice(), &sig)];
+    assert!(scheme.batch_verify(&km.public_key, &items, &mut rng));
+    let sig2 = scheme
+        .combine_batch_verified(
+            &km.params,
+            &km.verification_keys,
+            b"hello",
+            &[p1, p3],
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(sig, sig2);
 }

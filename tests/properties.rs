@@ -167,4 +167,58 @@ proptest! {
         prop_assert_eq!(s1, s2);
         prop_assert!(scheme.verify(&km.public_key, &msg, &s1));
     }
+
+    /// Batch verification (one shared multi-pairing) agrees with the
+    /// per-signature slow path under random corruption patterns, for
+    /// both full signatures and partial-signature batches.
+    #[test]
+    fn batch_verify_agrees_with_slow_path(seed in seeds(), corrupt_mask in 0u8..16) {
+        use borndist::core::ro::{PartialSignature, Signature, ThresholdScheme};
+        let params = ThresholdParams::new(1, 4).unwrap();
+        let scheme = ThresholdScheme::new(b"prop-batch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let km = scheme.dealer_keygen(params, &mut rng);
+        let msgs: Vec<Vec<u8>> = (0..4u8)
+            .map(|i| vec![i, seed as u8, (seed >> 8) as u8])
+            .collect();
+        let mut sigs: Vec<Signature> = msgs
+            .iter()
+            .map(|m| {
+                let ps: Vec<PartialSignature> = (1..=2u32)
+                    .map(|j| scheme.share_sign(&km.shares[&j], m))
+                    .collect();
+                scheme.combine(&params, &ps).unwrap()
+            })
+            .collect();
+        // Corrupt signature i iff bit i of the mask is set.
+        for i in 0..4usize {
+            if (corrupt_mask >> i) & 1 == 1 {
+                sigs[i] = sigs[(i + 1) % 4];
+            }
+        }
+        let items: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(sigs.iter())
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let slow = items.iter().all(|(m, s)| scheme.verify(&km.public_key, m, s));
+        let fast = scheme.batch_verify(&km.public_key, &items, &mut rng);
+        prop_assert_eq!(fast, slow);
+
+        // Partial-signature batches: corrupt share i iff bit i set.
+        let msg = b"prop share batch";
+        let mut partials: Vec<PartialSignature> = (1..=4u32)
+            .map(|i| scheme.share_sign(&km.shares[&i], msg))
+            .collect();
+        for i in 0..4usize {
+            if (corrupt_mask >> i) & 1 == 1 {
+                partials[i].sig.z = partials[(i + 1) % 4].sig.z;
+            }
+        }
+        let slow = partials
+            .iter()
+            .all(|p| scheme.share_verify(&km.verification_keys[&p.index], msg, p));
+        let fast = scheme.batch_share_verify(&km.verification_keys, msg, &partials, &mut rng);
+        prop_assert_eq!(fast, slow);
+    }
 }
