@@ -60,6 +60,15 @@ fn bench_robust_combine(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        // The per-share filter over keygen-cached prepared keys (the
+        // pessimistic path a combiner takes after a batch rejection).
+        g.bench_with_input(BenchmarkId::new("per_share_prepared", t), &t, |b, _| {
+            b.iter(|| {
+                scheme
+                    .combine_verified_prepared(&km.params, &km.prepared_vks, MESSAGE, &partials)
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }

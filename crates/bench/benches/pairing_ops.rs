@@ -3,8 +3,9 @@
 
 use borndist_bench::bench_rng;
 use borndist_pairing::{
-    hash_to_g1, hash_to_g2, msm, mul_g1_generator, multi_pairing, pairing, FixedBaseTable, Fr,
-    G1Affine, G1Projective, G2Affine, G2Projective,
+    hash_to_g1, hash_to_g2, msm, mul_g1_generator, multi_pairing, multi_pairing_prepared,
+    multi_pairing_tate, pairing, pairing_tate, FixedBaseTable, Fr, G1Affine, G1Projective,
+    G2Affine, G2Prepared, G2Projective,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -94,10 +95,78 @@ fn bench_scalar_mul_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The pairing-engine ladder: optimal ate (the default) vs the retained
+/// Tate reference, single and 4-way product (the scheme's verification
+/// equation shape).
+fn bench_ate_vs_tate(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let p = G1Projective::random(&mut rng).to_affine();
+    let q = G2Projective::random(&mut rng).to_affine();
+    let pairs: Vec<(G1Affine, G2Affine)> = (0..4)
+        .map(|_| {
+            (
+                G1Projective::random(&mut rng).to_affine(),
+                G2Projective::random(&mut rng).to_affine(),
+            )
+        })
+        .collect();
+    let refs: Vec<(&G1Affine, &G2Affine)> = pairs.iter().map(|(x, y)| (x, y)).collect();
+
+    let mut g = c.benchmark_group("ate_vs_tate");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("ate_single", |b| b.iter(|| pairing(&p, &q)));
+    g.bench_function("tate_single", |b| b.iter(|| pairing_tate(&p, &q)));
+    g.bench_function("ate_product_of_4", |b| b.iter(|| multi_pairing(&refs)));
+    g.bench_function("tate_product_of_4", |b| {
+        b.iter(|| multi_pairing_tate(&refs))
+    });
+    g.finish();
+}
+
+/// Prepared (cached line coefficients) vs live second arguments, at the
+/// 4-pairing verification shape and single-pairing granularity.
+fn bench_prepared_vs_unprepared(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let pairs: Vec<(G1Affine, G2Affine)> = (0..4)
+        .map(|_| {
+            (
+                G1Projective::random(&mut rng).to_affine(),
+                G2Projective::random(&mut rng).to_affine(),
+            )
+        })
+        .collect();
+    let refs: Vec<(&G1Affine, &G2Affine)> = pairs.iter().map(|(x, y)| (x, y)).collect();
+    let preps: Vec<G2Prepared> = pairs.iter().map(|(_, q)| G2Prepared::new(q)).collect();
+    let prepared: Vec<(&G1Affine, &G2Prepared)> = pairs
+        .iter()
+        .zip(preps.iter())
+        .map(|((x, _), t)| (x, t))
+        .collect();
+
+    let mut g = c.benchmark_group("prepared_vs_unprepared");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("unprepared_product_of_4", |b| {
+        b.iter(|| multi_pairing(&refs))
+    });
+    g.bench_function("prepared_product_of_4", |b| {
+        b.iter(|| multi_pairing_prepared(&prepared))
+    });
+    g.bench_function("prepare_g2_build", |b| {
+        b.iter(|| G2Prepared::new(&pairs[0].1))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_pairing,
     bench_group_ops,
-    bench_scalar_mul_paths
+    bench_scalar_mul_paths,
+    bench_ate_vs_tate,
+    bench_prepared_vs_unprepared
 );
 criterion_main!(benches);

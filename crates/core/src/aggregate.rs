@@ -15,11 +15,11 @@
 
 use crate::ro::{CombineError, KeyMaterial, PartialSignature, Signature};
 use borndist_dkg::{run_dkg, AggregateBases, Behavior, DkgConfig, SharingMode};
-use borndist_lhsps::{sign_derive, DpParams, OneTimeSecretKey, OneTimeSignature};
+use borndist_lhsps::{sign_derive, DpParams, OneTimeSecretKey, OneTimeSignature, PreparedDpParams};
 use borndist_net::Metrics;
 use borndist_pairing::{
-    hash_to_g1, hash_to_g1_vector, hash_to_g2, msm, multi_pairing, Fr, G1Affine, G1Projective,
-    G2Affine,
+    hash_to_g1, hash_to_g1_vector, hash_to_g2, msm, multi_pairing_mixed, Fr, G1Affine,
+    G1Projective, G2Affine,
 };
 use borndist_shamir::{lagrange_coefficients_at_zero, PedersenBases, ThresholdParams};
 use rand::RngCore;
@@ -74,6 +74,9 @@ impl std::error::Error for AggregateError {}
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AggregateScheme {
     params: DpParams,
+    /// Prepared `(ĝ_z, ĝ_r)` — cached at construction; every key-check
+    /// and aggregate equation pairs against them.
+    prepared: PreparedDpParams,
     /// Extra generators `(g, h) ∈ G²` for the key-validity witness.
     pub bases: AggregateBases,
     hash_dst: Vec<u8>,
@@ -84,17 +87,24 @@ impl AggregateScheme {
     pub fn new(tag: &[u8]) -> Self {
         let mut t = tag.to_vec();
         t.extend_from_slice(b"/aggregate-scheme");
+        let params = DpParams {
+            g_z: hash_to_g2(b"borndist/agg/g_z", &t).to_affine(),
+            g_r: hash_to_g2(b"borndist/agg/g_r", &t).to_affine(),
+        };
         AggregateScheme {
-            params: DpParams {
-                g_z: hash_to_g2(b"borndist/agg/g_z", &t).to_affine(),
-                g_r: hash_to_g2(b"borndist/agg/g_r", &t).to_affine(),
-            },
+            prepared: params.prepare(),
+            params,
             bases: AggregateBases {
                 g: hash_to_g1(b"borndist/agg/g", &t).to_affine(),
                 h: hash_to_g1(b"borndist/agg/h", &t).to_affine(),
             },
             hash_dst: t,
         }
+    }
+
+    /// The prepared generator pair (cached Miller line coefficients).
+    pub(crate) fn prepared_dp(&self) -> &PreparedDpParams {
+        &self.prepared
     }
 
     /// The generator pair `(ĝ_z, ĝ_r)`.
@@ -113,14 +123,15 @@ impl AggregateScheme {
         hash_to_g1_vector(&self.hash_dst, &input, 2)
     }
 
-    /// The paper's public-key sanity check.
+    /// The paper's public-key sanity check (generator slots prepared).
     pub fn key_valid(&self, pk: &AggPublicKey) -> bool {
-        multi_pairing(&[
-            (&pk.z, &self.params.g_z),
-            (&pk.r, &self.params.g_r),
-            (&self.bases.g, &pk.coords[0]),
-            (&self.bases.h, &pk.coords[1]),
-        ])
+        multi_pairing_mixed(
+            &[
+                (&self.bases.g, &pk.coords[0]),
+                (&self.bases.h, &pk.coords[1]),
+            ],
+            &[(&pk.z, &self.prepared.g_z), (&pk.r, &self.prepared.g_r)],
+        )
         .is_identity()
     }
 
@@ -217,7 +228,7 @@ impl AggregateScheme {
             return false;
         }
         let h = self.hash_message(pk, msg);
-        vk.pk.verify(&self.params, &h, &psig.sig)
+        vk.pk.verify_prepared(&self.prepared, &h, &psig.sig)
     }
 
     /// `Combine` by Lagrange interpolation in the exponent.
@@ -306,13 +317,16 @@ impl AggregateScheme {
             .iter()
             .map(|(pk, msg)| G1Projective::batch_to_affine(&self.hash_message(pk, msg)))
             .collect();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
-            vec![(&agg.z, &self.params.g_z), (&agg.r, &self.params.g_r)];
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * statements.len());
         for ((pk, _), h) in statements.iter().zip(hashes.iter()) {
             pairs.push((&h[0], &pk.coords[0]));
             pairs.push((&h[1], &pk.coords[1]));
         }
-        multi_pairing(&pairs).is_identity()
+        multi_pairing_mixed(
+            &pairs,
+            &[(&agg.z, &self.prepared.g_z), (&agg.r, &self.prepared.g_r)],
+        )
+        .is_identity()
     }
 }
 

@@ -48,7 +48,7 @@ use crate::standard::{
     StandardScheme, StdPartialSignature, StdPublicKey, StdSignature, StdVerificationKey,
 };
 use borndist_grothsahai as gs;
-use borndist_pairing::{msm, multi_pairing, Fr, G1Affine, G1Projective, G2Affine};
+use borndist_pairing::{msm, multi_pairing_mixed, Fr, G1Affine, G1Projective, G2Affine};
 use borndist_shamir::ThresholdParams;
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -111,13 +111,11 @@ impl ThresholdScheme {
             msm(&h2, &rho),
         ];
         let combined = G1Projective::batch_to_affine(&combined);
-        let dp = self.dp_params();
-        multi_pairing(&[
-            (&combined[0], &dp.g_z),
-            (&combined[1], &dp.g_r),
-            (&combined[2], &pk.coords[0]),
-            (&combined[3], &pk.coords[1]),
-        ])
+        let prep = self.prepared_dp();
+        multi_pairing_mixed(
+            &[(&combined[2], &pk.coords[0]), (&combined[3], &pk.coords[1])],
+            &[(&combined[0], &prep.g_z), (&combined[1], &prep.g_r)],
+        )
         .is_identity()
     }
 
@@ -147,14 +145,17 @@ impl ThresholdScheme {
         }
         let weighted_hashes = G1Projective::batch_to_affine(&weighted_hashes);
         let combined = G1Projective::batch_to_affine(&[msm(&zs, &rho), msm(&rs, &rho)]);
-        let dp = self.dp_params();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
-            vec![(&combined[0], &dp.g_z), (&combined[1], &dp.g_r)];
+        let prep = self.prepared_dp();
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * items.len());
         for ((pk, _, _), h) in items.iter().zip(weighted_hashes.chunks(2)) {
             pairs.push((&h[0], &pk.coords[0]));
             pairs.push((&h[1], &pk.coords[1]));
         }
-        multi_pairing(&pairs).is_identity()
+        multi_pairing_mixed(
+            &pairs,
+            &[(&combined[0], &prep.g_z), (&combined[1], &prep.g_r)],
+        )
+        .is_identity()
     }
 
     /// Batch-verifies many partial signatures on the *same* message with
@@ -176,11 +177,27 @@ impl ThresholdScheme {
         }
         let Some(vk_list) = partials
             .iter()
-            .map(|p| vks.get(&p.index).filter(|vk| vk.index == p.index))
-            .collect::<Option<Vec<&VerificationKey>>>()
+            .map(|p| {
+                vks.get(&p.index)
+                    .filter(|vk| vk.index == p.index)
+                    .map(|vk| &vk.pk)
+            })
+            .collect::<Option<Vec<_>>>()
         else {
             return false;
         };
+        self.batch_share_verify_keys(&vk_list, msg, partials, rng)
+    }
+
+    /// The batched equation over already-resolved LHSPS keys (shared by
+    /// the plain and prepared robust-combine entry points).
+    fn batch_share_verify_keys<R: RngCore + ?Sized>(
+        &self,
+        vk_list: &[&borndist_lhsps::OneTimePublicKey],
+        msg: &[u8],
+        partials: &[PartialSignature],
+        rng: &mut R,
+    ) -> bool {
         let h = self.hash_message(msg);
         if degenerate_hash(&h) {
             return false;
@@ -192,19 +209,17 @@ impl ThresholdScheme {
         let rho = random_weights(partials.len(), rng);
         let zs: Vec<_> = partials.iter().map(|p| p.sig.z).collect();
         let rs: Vec<_> = partials.iter().map(|p| p.sig.r).collect();
-        let v1: Vec<_> = vk_list.iter().map(|vk| vk.pk.g_hat[0]).collect();
-        let v2: Vec<_> = vk_list.iter().map(|vk| vk.pk.g_hat[1]).collect();
+        let v1: Vec<_> = vk_list.iter().map(|vk| vk.g_hat[0]).collect();
+        let v2: Vec<_> = vk_list.iter().map(|vk| vk.g_hat[1]).collect();
         let z_comb = msm(&zs, &rho).to_affine();
         let r_comb = msm(&rs, &rho).to_affine();
         let v1_comb = msm(&v1, &rho).to_affine();
         let v2_comb = msm(&v2, &rho).to_affine();
-        let dp = self.dp_params();
-        multi_pairing(&[
-            (&z_comb, &dp.g_z),
-            (&r_comb, &dp.g_r),
-            (&h_affine[0], &v1_comb),
-            (&h_affine[1], &v2_comb),
-        ])
+        let prep = self.prepared_dp();
+        multi_pairing_mixed(
+            &[(&h_affine[0], &v1_comb), (&h_affine[1], &v2_comb)],
+            &[(&z_comb, &prep.g_z), (&r_comb, &prep.g_r)],
+        )
         .is_identity()
     }
 
@@ -233,6 +248,43 @@ impl ThresholdScheme {
             return self.combine(params, partials);
         }
         self.combine_verified(params, vks, msg, partials)
+    }
+
+    /// [`Self::combine_batch_verified`] over the prepared verification
+    /// keys of [`crate::ro::KeyMaterial::prepared_vks`]: the optimistic
+    /// batch is unchanged (its `Ĝ` columns are MSM combinations, where
+    /// only the generators — already prepared — are fixed), while the
+    /// pessimistic per-share fallback filters through
+    /// [`ThresholdScheme::share_verify_prepared`] with zero `Ĝ`-side
+    /// point arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThresholdScheme::combine_verified`].
+    pub fn combine_batch_verified_prepared<R: RngCore + ?Sized>(
+        &self,
+        params: &ThresholdParams,
+        vks: &BTreeMap<u32, crate::ro::PreparedVerificationKey>,
+        msg: &[u8],
+        partials: &[PartialSignature],
+        rng: &mut R,
+    ) -> Result<Signature, CombineError> {
+        if partials.len() >= params.reconstruction_size() && !partials.is_empty() {
+            let vk_list = partials
+                .iter()
+                .map(|p| {
+                    vks.get(&p.index)
+                        .filter(|vk| vk.index == p.index)
+                        .map(|vk| &vk.pk.key)
+                })
+                .collect::<Option<Vec<_>>>();
+            if let Some(vk_list) = vk_list {
+                if self.batch_share_verify_keys(&vk_list, msg, partials, rng) {
+                    return self.combine(params, partials);
+                }
+            }
+        }
+        self.combine_verified_prepared(params, vks, msg, partials)
     }
 }
 
@@ -287,15 +339,18 @@ impl StandardScheme {
         per_statement.extend([msm(&cz_points, &rho), msm(&cr_points, &rho)]);
         let flat = G1Projective::batch_to_affine(&per_statement);
         let (per_statement, columns) = flat.split_at(3 * statements.len());
-        let dp = &params.dp;
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
-            vec![(&columns[0], &dp.g_z), (&columns[1], &dp.g_r)];
+        let prep = self.dp_prepared();
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(3 * statements.len());
         for (s, g1s) in statements.iter().zip(per_statement.chunks(3)) {
             pairs.push((&g1s[0], &s.proof.pi1));
             pairs.push((&g1s[1], &s.proof.pi2));
             pairs.push((&g1s[2], s.target));
         }
-        multi_pairing(&pairs).is_identity()
+        multi_pairing_mixed(
+            &pairs,
+            &[(&columns[0], &prep.g_z), (&columns[1], &prep.g_r)],
+        )
+        .is_identity()
     }
 
     /// Batch-verifies `k` standard-model signatures on `k` messages under
@@ -423,14 +478,14 @@ impl AggregateScheme {
             points.push(self.bases.h.mul(w));
         }
         let points = G1Projective::batch_to_affine(&points);
-        let dp = self.dp_params();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
-            vec![(&points[0], &dp.g_z), (&points[1], &dp.g_r)];
+        let prep = self.prepared_dp();
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * keys.len());
         for (key, gh) in keys.iter().zip(points[2..].chunks(2)) {
             pairs.push((&gh[0], &key.coords[0]));
             pairs.push((&gh[1], &key.coords[1]));
         }
-        multi_pairing(&pairs).is_identity()
+        multi_pairing_mixed(&pairs, &[(&points[0], &prep.g_z), (&points[1], &prep.g_r)])
+            .is_identity()
     }
 
     /// `Aggregate-Verify` with the per-key sanity checks *folded into*
@@ -470,14 +525,14 @@ impl AggregateScheme {
             points.push(h[1].mul(&rho0) + self.bases.h.mul(w));
         }
         let points = G1Projective::batch_to_affine(&points);
-        let dp = self.dp_params();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> =
-            vec![(&points[0], &dp.g_z), (&points[1], &dp.g_r)];
+        let prep = self.prepared_dp();
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * statements.len());
         for ((pk, _), h) in statements.iter().zip(points[2..].chunks(2)) {
             pairs.push((&h[0], &pk.coords[0]));
             pairs.push((&h[1], &pk.coords[1]));
         }
-        multi_pairing(&pairs).is_identity()
+        multi_pairing_mixed(&pairs, &[(&points[0], &prep.g_z), (&points[1], &prep.g_r)])
+            .is_identity()
     }
 }
 
@@ -600,6 +655,54 @@ mod tests {
             ),
             Err(CombineError::NotEnoughValidShares { .. })
         ));
+    }
+
+    #[test]
+    fn prepared_combine_agrees_with_plain() {
+        let (scheme, km, mut r) = setup();
+        let msg = b"combine prepared";
+        let mut partials: Vec<PartialSignature> = (1..=6u32)
+            .map(|i| scheme.share_sign(&km.shares[&i], msg))
+            .collect();
+        // Happy path: prepared and plain robust combine produce the same
+        // (unique) signature.
+        let plain = scheme
+            .combine_batch_verified(&km.params, &km.verification_keys, msg, &partials, &mut r)
+            .unwrap();
+        let fast = scheme
+            .combine_batch_verified_prepared(&km.params, &km.prepared_vks, msg, &partials, &mut r)
+            .unwrap();
+        assert_eq!(plain, fast);
+        assert!(scheme.verify(&km.public_key, msg, &fast));
+        // Byzantine path: two corrupted shares force the prepared
+        // per-share fallback filter.
+        partials[0].sig.z = partials[1].sig.z;
+        partials[5].sig.r = partials[1].sig.r;
+        let fast = scheme
+            .combine_batch_verified_prepared(&km.params, &km.prepared_vks, msg, &partials, &mut r)
+            .unwrap();
+        assert_eq!(plain, fast);
+        let direct = scheme
+            .combine_verified_prepared(&km.params, &km.prepared_vks, msg, &partials)
+            .unwrap();
+        assert_eq!(plain, direct);
+        // Too few valid shares.
+        assert_eq!(
+            scheme.combine_verified_prepared(&km.params, &km.prepared_vks, msg, &partials[..2]),
+            Err(CombineError::NotEnoughValidShares { valid: 1, need: 3 })
+        );
+        // Unknown index falls through to the filter (and fails there).
+        let mut alien = partials[1];
+        alien.index = 99;
+        assert!(scheme
+            .combine_batch_verified_prepared(
+                &km.params,
+                &km.prepared_vks,
+                msg,
+                &[alien, partials[1], partials[2]],
+                &mut r
+            )
+            .is_err());
     }
 
     #[test]

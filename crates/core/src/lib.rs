@@ -51,8 +51,8 @@ pub use dlin::{
 };
 pub use proactive::{ProactiveDeployment, ProactiveError};
 pub use ro::{
-    CombineError, DistKeygenError, KeyMaterial, KeyShare, PartialSignature, PublicKey, Signature,
-    ThresholdScheme, VerificationKey,
+    CombineError, DistKeygenError, KeyMaterial, KeyShare, PartialSignature, PreparedPublicKey,
+    PreparedVerificationKey, PublicKey, Signature, ThresholdScheme, VerificationKey,
 };
 pub use standard::{
     StandardScheme, StdKeyMaterial, StdKeyShare, StdPartialSignature, StdPublicKey, StdSignature,

@@ -18,7 +18,10 @@
 //! the message. Shares are `O(1)` size regardless of `n` (experiment E4).
 
 use borndist_dkg::{run_dkg, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
-use borndist_lhsps::{sign_derive, DpParams, OneTimePublicKey, OneTimeSecretKey, OneTimeSignature};
+use borndist_lhsps::{
+    sign_derive, DpParams, OneTimePublicKey, OneTimeSecretKey, OneTimeSignature, PreparedDpParams,
+    PreparedOneTimePublicKey,
+};
 use borndist_net::Metrics;
 use borndist_pairing::{hash_to_g1_vector, hash_to_g2, Fr, G1Projective, G2Affine};
 use borndist_shamir::{
@@ -33,6 +36,10 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThresholdScheme {
     params: DpParams,
+    /// Prepared forms of `(ĝ_z, ĝ_r)` — every verification equation of
+    /// the scheme pairs against them, so their Miller line coefficients
+    /// are cached once at scheme construction (ISSUE 3).
+    prepared: PreparedDpParams,
     hash_dst: Vec<u8>,
 }
 
@@ -60,6 +67,52 @@ pub struct VerificationKey {
     pub index: u32,
     /// The LHSPS public key matching [`KeyShare::sk`].
     pub pk: OneTimePublicKey,
+}
+
+/// A verification key with its pairing line coefficients precomputed —
+/// built at keygen/refresh time ([`KeyMaterial::prepared_vks`]) so the
+/// `Share-Verify` hot path pairs every `Ĝ`-side element through cached
+/// coefficients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedVerificationKey {
+    /// The server index `i`.
+    pub index: u32,
+    /// The prepared LHSPS public key.
+    pub pk: PreparedOneTimePublicKey,
+}
+
+impl VerificationKey {
+    /// Precomputes the pairing line coefficients of both coordinates.
+    pub fn prepare(&self) -> PreparedVerificationKey {
+        PreparedVerificationKey {
+            index: self.index,
+            pk: self.pk.prepare(),
+        }
+    }
+}
+
+/// The joint public key with prepared coordinates, for verifiers that
+/// check many signatures under one key: all four `Ĝ`-side elements of
+/// `Verify` then pair through cached line coefficients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedPublicKey {
+    /// The plain public key.
+    pub key: PublicKey,
+    /// Prepared `(ĝ_1, ĝ_2)` packed as a prepared LHSPS key.
+    pub pk: PreparedOneTimePublicKey,
+}
+
+impl PublicKey {
+    /// Precomputes the pairing line coefficients of `(ĝ_1, ĝ_2)`.
+    pub fn prepare(&self) -> PreparedPublicKey {
+        let pk = OneTimePublicKey {
+            g_hat: self.coords.to_vec(),
+        };
+        PreparedPublicKey {
+            key: self.clone(),
+            pk: pk.prepare(),
+        }
+    }
 }
 
 /// A partial signature `σ_i = (z_i, r_i) ∈ G²`.
@@ -92,6 +145,14 @@ pub struct KeyMaterial {
     pub shares: BTreeMap<u32, KeyShare>,
     /// Verification keys for all players `1..=n`.
     pub verification_keys: BTreeMap<u32, VerificationKey>,
+    /// Prepared forms of the verification keys, index-aligned with
+    /// [`Self::verification_keys`] — cached at keygen (and rebuilt on
+    /// proactive refresh) for the prepared robust-combine paths
+    /// ([`ThresholdScheme::combine_verified_prepared`],
+    /// [`ThresholdScheme::combine_batch_verified_prepared`],
+    /// [`ThresholdScheme::share_verify_prepared`]), which verify shares
+    /// against fully prepared pairing arguments.
+    pub prepared_vks: BTreeMap<u32, PreparedVerificationKey>,
     /// Qualified dealer set from the DKG (all players for dealer keygen).
     pub qualified: BTreeSet<u32>,
     /// Combined Pedersen commitments (needed for proactive refresh and
@@ -142,11 +203,13 @@ impl ThresholdScheme {
     pub fn new(tag: &[u8]) -> Self {
         let mut t = tag.to_vec();
         t.extend_from_slice(b"/ro-scheme");
+        let params = DpParams {
+            g_z: hash_to_g2(b"borndist/ro/g_z", &t).to_affine(),
+            g_r: hash_to_g2(b"borndist/ro/g_r", &t).to_affine(),
+        };
         ThresholdScheme {
-            params: DpParams {
-                g_z: hash_to_g2(b"borndist/ro/g_z", &t).to_affine(),
-                g_r: hash_to_g2(b"borndist/ro/g_r", &t).to_affine(),
-            },
+            prepared: params.prepare(),
+            params,
             hash_dst: t,
         }
     }
@@ -154,12 +217,21 @@ impl ThresholdScheme {
     /// Builds a scheme context over existing parameters (used by the
     /// aggregate extension, which shares the generator pair).
     pub(crate) fn with_params(params: DpParams, hash_dst: Vec<u8>) -> Self {
-        ThresholdScheme { params, hash_dst }
+        ThresholdScheme {
+            prepared: params.prepare(),
+            params,
+            hash_dst,
+        }
     }
 
     /// The underlying generator pair `(ĝ_z, ĝ_r)`.
     pub fn dp_params(&self) -> &DpParams {
         &self.params
+    }
+
+    /// The prepared generator pair (cached Miller line coefficients).
+    pub fn prepared_dp(&self) -> &PreparedDpParams {
+        &self.prepared
     }
 
     /// The generators viewed as Pedersen VSS bases (used by the DKG).
@@ -235,7 +307,7 @@ impl ThresholdScheme {
                 );
             }
         }
-        let verification_keys = (1..=params.n as u32)
+        let verification_keys: BTreeMap<u32, VerificationKey> = (1..=params.n as u32)
             .map(|i| {
                 let vk = reference.verification_key(i);
                 (
@@ -249,11 +321,13 @@ impl ThresholdScheme {
                 )
             })
             .collect();
+        let prepared_vks = prepare_verification_keys(&verification_keys);
         Ok(KeyMaterial {
             params,
             public_key,
             shares,
             verification_keys,
+            prepared_vks,
             qualified: reference.qualified.clone(),
             commitments: reference.combined_commitments.clone(),
         })
@@ -314,11 +388,13 @@ impl ThresholdScheme {
             );
             shares.insert(i, KeyShare { index: i, sk });
         }
+        let prepared_vks = prepare_verification_keys(&verification_keys);
         KeyMaterial {
             params,
             public_key,
             shares,
             verification_keys,
+            prepared_vks,
             qualified: (1..=params.n as u32).collect(),
             commitments,
         }
@@ -336,13 +412,29 @@ impl ThresholdScheme {
     }
 
     /// `Share-Verify`: checks `σ_i` against `V K_i` — a product of four
-    /// pairings.
+    /// pairings, two of them against the scheme's prepared generators.
     pub fn share_verify(&self, vk: &VerificationKey, msg: &[u8], psig: &PartialSignature) -> bool {
         if vk.index != psig.index {
             return false;
         }
         let h = self.hash_message(msg);
-        vk.pk.verify(&self.params, &h, &psig.sig)
+        vk.pk.verify_prepared(&self.prepared, &h, &psig.sig)
+    }
+
+    /// [`Self::share_verify`] against a prepared verification key
+    /// ([`KeyMaterial::prepared_vks`]): all four `Ĝ`-side pairing
+    /// arguments replay cached line coefficients.
+    pub fn share_verify_prepared(
+        &self,
+        vk: &PreparedVerificationKey,
+        msg: &[u8],
+        psig: &PartialSignature,
+    ) -> bool {
+        if vk.index != psig.index {
+            return false;
+        }
+        let h = self.hash_message(msg);
+        vk.pk.verify(&self.prepared, &h, &psig.sig)
     }
 
     /// `Combine`: Lagrange interpolation in the exponent over any
@@ -406,15 +498,66 @@ impl ThresholdScheme {
         self.combine(params, &valid[..need])
     }
 
+    /// [`Self::combine_verified`] against the prepared verification keys
+    /// cached in [`KeyMaterial::prepared_vks`]: the per-share filter runs
+    /// [`Self::share_verify_prepared`], so every `Ĝ`-side pairing
+    /// argument replays cached line coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::combine_verified`].
+    pub fn combine_verified_prepared(
+        &self,
+        params: &ThresholdParams,
+        vks: &BTreeMap<u32, PreparedVerificationKey>,
+        msg: &[u8],
+        partials: &[PartialSignature],
+    ) -> Result<Signature, CombineError> {
+        let valid: Vec<PartialSignature> = partials
+            .iter()
+            .filter(|p| {
+                vks.get(&p.index)
+                    .map(|vk| self.share_verify_prepared(vk, msg, p))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        let need = params.reconstruction_size();
+        if valid.len() < need {
+            return Err(CombineError::NotEnoughValidShares {
+                valid: valid.len(),
+                need,
+            });
+        }
+        self.combine(params, &valid[..need])
+    }
+
     /// `Verify`: the four-pairing check
-    /// `e(z, ĝ_z)·e(r, ĝ_r)·e(H_1, ĝ_1)·e(H_2, ĝ_2) = 1`.
+    /// `e(z, ĝ_z)·e(r, ĝ_r)·e(H_1, ĝ_1)·e(H_2, ĝ_2) = 1` (the generator
+    /// slots pair through the scheme's prepared coefficients).
     pub fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
         let h = self.hash_message(msg);
         let lhsps_pk = OneTimePublicKey {
             g_hat: pk.coords.to_vec(),
         };
-        lhsps_pk.verify(&self.params, &h, &sig.sig)
+        lhsps_pk.verify_prepared(&self.prepared, &h, &sig.sig)
     }
+
+    /// [`Self::verify`] against a prepared public key
+    /// ([`PublicKey::prepare`]): all four `Ĝ`-side elements replay cached
+    /// line coefficients — the hot path for verifiers that check many
+    /// signatures under one long-lived key.
+    pub fn verify_prepared(&self, pk: &PreparedPublicKey, msg: &[u8], sig: &Signature) -> bool {
+        let h = self.hash_message(msg);
+        pk.pk.verify(&self.prepared, &h, &sig.sig)
+    }
+}
+
+/// Prepares every verification key in a map (used at keygen and refresh).
+pub(crate) fn prepare_verification_keys(
+    vks: &BTreeMap<u32, VerificationKey>,
+) -> BTreeMap<u32, PreparedVerificationKey> {
+    vks.iter().map(|(i, vk)| (*i, vk.prepare())).collect()
 }
 
 /// Errors from distributed key generation.
@@ -591,6 +734,40 @@ mod tests {
             .collect();
         let sig = scheme.combine(&km.params, &partials).unwrap();
         assert!(scheme.verify(&km.public_key, msg, &sig));
+    }
+
+    #[test]
+    fn prepared_paths_agree_with_plain_verification() {
+        let (scheme, km) = dealer_setup(2, 5);
+        let msg = b"prepared";
+        // Keygen populated the prepared keys, index-aligned.
+        assert_eq!(km.prepared_vks.len(), km.verification_keys.len());
+        for (i, vk) in &km.verification_keys {
+            assert_eq!(km.prepared_vks[i].pk.key, vk.pk);
+        }
+        let partials: Vec<PartialSignature> = (1..=5u32)
+            .map(|i| scheme.share_sign(&km.shares[&i], msg))
+            .collect();
+        for p in &partials {
+            let plain = scheme.share_verify(&km.verification_keys[&p.index], msg, p);
+            let fast = scheme.share_verify_prepared(&km.prepared_vks[&p.index], msg, p);
+            assert!(plain && fast);
+            // Index mismatch rejected by both.
+            let other = &km.prepared_vks[&(p.index % 5 + 1)];
+            assert!(!scheme.share_verify_prepared(other, msg, p));
+        }
+        // Corrupt partial rejected by both paths.
+        let mut bad = partials[0];
+        bad.sig.z = bad.sig.r;
+        assert!(!scheme.share_verify(&km.verification_keys[&1], msg, &bad));
+        assert!(!scheme.share_verify_prepared(&km.prepared_vks[&1], msg, &bad));
+        // Full verification through the prepared public key.
+        let sig = scheme.combine(&km.params, &partials[..3]).unwrap();
+        let pk_prep = km.public_key.prepare();
+        assert_eq!(pk_prep.key, km.public_key);
+        assert!(scheme.verify(&km.public_key, msg, &sig));
+        assert!(scheme.verify_prepared(&pk_prep, msg, &sig));
+        assert!(!scheme.verify_prepared(&pk_prep, b"other message", &sig));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use borndist_dkg::{run_dkg, Behavior, DkgConfig, SharingMode};
 use borndist_grothsahai as gs;
-use borndist_lhsps::DpParams;
+use borndist_lhsps::{DpParams, PreparedDpParams};
 use borndist_net::Metrics;
 use borndist_pairing::{
     hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G1Table, G2Affine, G2Projective,
@@ -67,6 +67,9 @@ pub struct StandardScheme {
     /// scalars per call, so the one-time table cost amortizes across the
     /// scheme's lifetime (DESIGN.md §2).
     g_table: G1Table,
+    /// Prepared `(ĝ_z, ĝ_r)` — the Groth–Sahai equation constants of
+    /// every verification, cached once at scheme construction.
+    dp_prepared: PreparedDpParams,
 }
 
 /// Public key `PK = ĝ₁ = ĝ_z^{a} ĝ_r^{b}`.
@@ -155,18 +158,25 @@ impl StandardScheme {
             .map(|i| (g1(&format!("/f{}/1", i)), g1(&format!("/f{}/2", i))))
             .collect();
         let g = g1("/g");
+        let dp = DpParams {
+            g_z: g2("/g_z"),
+            g_r: g2("/g_r"),
+        };
         StandardScheme {
+            dp_prepared: dp.prepare(),
             params: StandardParams {
                 g,
-                dp: DpParams {
-                    g_z: g2("/g_z"),
-                    g_r: g2("/g_r"),
-                },
+                dp,
                 f: (g1("/f/1"), g1("/f/2")),
                 f_bits,
             },
             g_table: G1Table::new(&g.to_projective()),
         }
+    }
+
+    /// The prepared generator pair (cached Miller line coefficients).
+    pub(crate) fn dp_prepared(&self) -> &PreparedDpParams {
+        &self.dp_prepared
     }
 
     /// The public parameters.
@@ -347,9 +357,9 @@ impl StandardScheme {
         let digest = self.message_digest(msg);
         let crs = self.message_crs(&digest);
         let extra = ((G1Affine::identity(), self.params.g), *target_key);
-        gs::verify(
+        gs::verify_prepared(
             &crs,
-            &[self.params.dp.g_z, self.params.dp.g_r],
+            &[&self.dp_prepared.g_z, &self.dp_prepared.g_r],
             &[*c_z, *c_r],
             &[extra],
             proof,

@@ -21,7 +21,9 @@
 //! the engine of the §4 security proof, where the per-message CRS
 //! `(f, f_M)` is binding exactly on the forgery message.
 
-use borndist_pairing::{msm, multi_pairing, Fr, G1Affine, G1Projective, G2Affine, G2Projective};
+use borndist_pairing::{
+    msm, multi_pairing_mixed, Fr, G1Affine, G1Projective, G2Affine, G2Prepared, G2Projective,
+};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -167,13 +169,85 @@ pub fn verify(
     extra: &[((G1Affine, G1Affine), G2Affine)],
     proof: &Proof,
 ) -> bool {
+    verify_inner(
+        crs,
+        ConstantRefs::Live(constants),
+        commitments,
+        extra,
+        proof,
+    )
+}
+
+/// [`verify`] with the equation constants `Â_i` preprocessed
+/// ([`G2Prepared`]): the constants are the long-lived generators
+/// `(ĝ_z, ĝ_r)` in every use by the §4 scheme, so their Miller line
+/// coefficients are cached at scheme setup while the per-proof elements
+/// (`π̂₁`, `π̂₂`, targets) stay live. Verdict-equivalent to [`verify`]
+/// (property-tested by the standard-model suites).
+pub fn verify_prepared(
+    crs: &Crs,
+    constants: &[&G2Prepared],
+    commitments: &[Commitment],
+    extra: &[((G1Affine, G1Affine), G2Affine)],
+    proof: &Proof,
+) -> bool {
+    verify_inner(
+        crs,
+        ConstantRefs::Prepared(constants),
+        commitments,
+        extra,
+        proof,
+    )
+}
+
+/// Equation constants in live or prepared form — [`verify`] and
+/// [`verify_prepared`] share one body so the two-equation structure can
+/// never diverge between them.
+enum ConstantRefs<'a> {
+    Live(&'a [G2Affine]),
+    Prepared(&'a [&'a G2Prepared]),
+}
+
+impl ConstantRefs<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ConstantRefs::Live(c) => c.len(),
+            ConstantRefs::Prepared(c) => c.len(),
+        }
+    }
+}
+
+fn verify_inner(
+    crs: &Crs,
+    constants: ConstantRefs<'_>,
+    commitments: &[Commitment],
+    extra: &[((G1Affine, G1Affine), G2Affine)],
+    proof: &Proof,
+) -> bool {
     if constants.len() != commitments.len() {
         return false;
     }
+    fn coord(c: &Commitment, m: usize) -> &G1Affine {
+        if m == 0 {
+            &c.c1
+        } else {
+            &c.c2
+        }
+    }
     for m in 0..2usize {
         let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::new();
-        for (c, a) in commitments.iter().zip(constants.iter()) {
-            pairs.push((if m == 0 { &c.c1 } else { &c.c2 }, a));
+        let mut prepared: Vec<(&G1Affine, &G2Prepared)> = Vec::new();
+        match &constants {
+            ConstantRefs::Live(cs) => {
+                for (c, a) in commitments.iter().zip(cs.iter()) {
+                    pairs.push((coord(c, m), a));
+                }
+            }
+            ConstantRefs::Prepared(cs) => {
+                for (c, a) in commitments.iter().zip(cs.iter()) {
+                    prepared.push((coord(c, m), *a));
+                }
+            }
         }
         let u1m = if m == 0 { &crs.u1.0 } else { &crs.u1.1 };
         let u2m = if m == 0 { &crs.u2.0 } else { &crs.u2.1 };
@@ -182,7 +256,7 @@ pub fn verify(
         for ((p1, p2), q) in extra.iter() {
             pairs.push((if m == 0 { p1 } else { p2 }, q));
         }
-        if !multi_pairing(&pairs).is_identity() {
+        if !multi_pairing_mixed(&pairs, &prepared).is_identity() {
             return false;
         }
     }

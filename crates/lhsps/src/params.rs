@@ -5,7 +5,7 @@
 //! (`hash_to_g2` with fixed domain tags), exactly as the paper suggests
 //! ("it can simply be derived from a random oracle", §3.1).
 
-use borndist_pairing::{hash_to_g2, G2Affine};
+use borndist_pairing::{hash_to_g2, G2Affine, G2Prepared};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +18,27 @@ pub struct DpParams {
     pub g_r: G2Affine,
 }
 
+/// The generator pair with its optimal-ate Miller line coefficients
+/// precomputed ([`G2Prepared`]): `(ĝ_z, ĝ_r)` appear on the `Ĝ` side of
+/// *every* verification equation in the workspace, so schemes build this
+/// once at setup and every verification skips their `Fp2` point
+/// arithmetic entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedDpParams {
+    /// Prepared `ĝ_z`.
+    pub g_z: G2Prepared,
+    /// Prepared `ĝ_r`.
+    pub g_r: G2Prepared,
+}
+
 impl DpParams {
+    /// Precomputes the pairing line coefficients of both generators.
+    pub fn prepare(&self) -> PreparedDpParams {
+        PreparedDpParams {
+            g_z: G2Prepared::new(&self.g_z),
+            g_r: G2Prepared::new(&self.g_r),
+        }
+    }
     /// Derives parameters from a protocol tag via the random oracle.
     pub fn derive(tag: &[u8]) -> Self {
         let mut t1 = tag.to_vec();

@@ -1,15 +1,30 @@
 //! Sextic-over-quadratic extension `Fp12 = Fp6[w]/(w² - v)`.
 //!
 //! Pairing values live here (before being wrapped in [`crate::Gt`]).
-//! The only Frobenius power required by the Tate-pairing final
-//! exponentiation is `p²`, implemented with precomputed ξ-power constants.
+//! The optimal-ate engine uses the full `p`-power Frobenius ladder
+//! ([`Fp12::frobenius_p`], [`Fp12::frobenius_p2`], [`Fp12::frobenius_p3`]),
+//! Granger–Scott squaring in the cyclotomic subgroup
+//! ([`Fp12::cyclotomic_square`]) and the sparse line product
+//! ([`Fp12::mul_by_014`]); the retained Tate reference only needs `p²`.
 
 use crate::constants::FROB2_GAMMA;
 use crate::fp::Fp;
 use crate::fp2::Fp2;
-use crate::fp6::Fp6;
+use crate::fp6::{frob1_gamma, Fp6};
 use crate::traits::Field;
 use rand::RngCore;
+
+/// One square in the degree-4 subtower `Fp4 = Fp2[t]/(t² - v)`
+/// (represented by its two `Fp2` coordinates), the kernel of
+/// Granger–Scott cyclotomic squaring.
+#[inline]
+fn fp4_square(a: Fp2, b: Fp2) -> (Fp2, Fp2) {
+    let t0 = a.square();
+    let t1 = b.square();
+    let c0 = t1.mul_by_xi() + t0;
+    let c1 = (a + b).square() - t0 - t1;
+    (c0, c1)
+}
 
 /// An element `c0 + c1·w` of `Fp12`, with `w² = v`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -55,6 +70,22 @@ impl Fp12 {
     /// For elements of the cyclotomic subgroup this is the inverse.
     pub fn conjugate(&self) -> Self {
         Fp12::new(self.c0, -self.c1)
+    }
+
+    /// The `p`-power Frobenius endomorphism: apply `Fp6::frobenius_p`
+    /// coefficient-wise and scale the odd (`w`) part by
+    /// `γ_1 = ξ^((p-1)/6) ∈ Fp2` (from `w^p = γ_1·w`).
+    pub fn frobenius_p(&self) -> Self {
+        Fp12::new(
+            self.c0.frobenius_p(),
+            self.c1.frobenius_p().mul_by_fp2(&frob1_gamma(1)),
+        )
+    }
+
+    /// The `p³`-power Frobenius endomorphism (composition of the `p` and
+    /// `p²` maps; used by the hard part of the final exponentiation).
+    pub fn frobenius_p3(&self) -> Self {
+        self.frobenius_p2().frobenius_p()
     }
 
     /// The `p²`-power Frobenius endomorphism.
@@ -103,14 +134,58 @@ impl Fp12 {
 
     /// Multiplies by a sparse line element with non-zero entries
     /// `a ∈ Fp` (constant), `b ∈ Fp2` (at `v²` of the even part) and
-    /// `c ∈ Fp2` (at `v·w` of the odd part) — the shape produced by
-    /// Miller-loop line evaluations (see [`crate::pairing`]).
+    /// `c ∈ Fp2` (at `v·w` of the odd part) — the shape produced by the
+    /// Tate Miller-loop line evaluations (see [`crate::pairing`]).
     pub fn mul_by_line(&self, a: &Fp, b: &Fp2, c: &Fp2) -> Self {
         let line = Fp12::new(
             Fp6::new(Fp2::from_fp(*a), Fp2::zero(), *b),
             Fp6::new(Fp2::zero(), *c, Fp2::zero()),
         );
         *self * line
+    }
+
+    /// Multiplies by a sparse element `c0 + c1·v + c4·v·w` — the shape
+    /// produced by the optimal-ate line evaluations. Costs 8 `Fp2`
+    /// multiplications via the sparse `Fp6` products instead of the
+    /// generic 18.
+    pub fn mul_by_014(&self, c0: &Fp2, c1: &Fp2, c4: &Fp2) -> Self {
+        let aa = self.c0.mul_by_01(c0, c1);
+        let bb = self.c1.mul_by_1(c4);
+        let o = *c1 + *c4;
+        let new_c1 = (self.c1 + self.c0).mul_by_01(c0, &o) - aa - bb;
+        Fp12::new(bb.mul_by_v() + aa, new_c1)
+    }
+
+    /// Squaring in the cyclotomic subgroup (elements with
+    /// `f^(p⁶+1) = 1`, i.e. unitary outputs of the easy part of the
+    /// final exponentiation) via Granger–Scott compressed `Fp4` squares:
+    /// three `Fp4` squarings instead of a full `Fp12` squaring.
+    ///
+    /// The result is **only** meaningful for cyclotomic-subgroup inputs;
+    /// equivalence with [`Fp12::square`] on that subgroup is enforced by
+    /// the `pairing_engine` property suite.
+    pub fn cyclotomic_square(&self) -> Self {
+        let z0 = self.c0.c0;
+        let z4 = self.c0.c1;
+        let z3 = self.c0.c2;
+        let z2 = self.c1.c0;
+        let z1 = self.c1.c1;
+        let z5 = self.c1.c2;
+
+        let (t0, t1) = fp4_square(z0, z1);
+        let z0 = (t0 - z0).double() + t0;
+        let z1 = (t1 + z1).double() + t1;
+
+        let (t0, t1) = fp4_square(z2, z3);
+        let (t2, t3) = fp4_square(z4, z5);
+        let z4 = (t0 - z4).double() + t0;
+        let z5 = (t1 + z5).double() + t1;
+
+        let t0 = t3.mul_by_xi();
+        let z2 = (t0 + z2).double() + t0;
+        let z3 = (t2 - z3).double() + t2;
+
+        Fp12::new(Fp6::new(z0, z4, z3), Fp6::new(z2, z1, z5))
     }
 }
 
@@ -272,6 +347,66 @@ mod tests {
         // conj = frob2 applied three times
         let b = a.frobenius_p2().frobenius_p2().frobenius_p2();
         assert_eq!(a.conjugate(), b);
+    }
+
+    #[test]
+    fn frobenius_p_is_field_homomorphism_of_order_twelve() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        let b = Fp12::random(&mut r);
+        assert_eq!((a * b).frobenius_p(), a.frobenius_p() * b.frobenius_p());
+        assert_eq!((a + b).frobenius_p(), a.frobenius_p() + b.frobenius_p());
+        let mut c = a;
+        for _ in 0..12 {
+            c = c.frobenius_p();
+        }
+        assert_eq!(c, a);
+        // Fixes the prime field.
+        let e = Fp12::from_fp6(Fp6::from_fp2(Fp2::from_fp(Fp::from_u64(5))));
+        assert_eq!(e.frobenius_p(), e);
+    }
+
+    #[test]
+    fn frobenius_powers_compose() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        assert_eq!(a.frobenius_p().frobenius_p(), a.frobenius_p2());
+        assert_eq!(a.frobenius_p2().frobenius_p(), a.frobenius_p3());
+        assert_eq!(
+            a.frobenius_p3().frobenius_p3(),
+            a.conjugate(),
+            "p^6-power is conjugation"
+        );
+    }
+
+    #[test]
+    fn mul_by_014_matches_full_mul() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let f = Fp12::random(&mut r);
+            let c0 = Fp2::random(&mut r);
+            let c1 = Fp2::random(&mut r);
+            let c4 = Fp2::random(&mut r);
+            let sparse = Fp12::new(
+                Fp6::new(c0, c1, Fp2::zero()),
+                Fp6::new(Fp2::zero(), c4, Fp2::zero()),
+            );
+            assert_eq!(f.mul_by_014(&c0, &c1, &c4), f * sparse);
+        }
+    }
+
+    #[test]
+    fn cyclotomic_square_matches_square_on_unitary_elements() {
+        // Map random elements into the cyclotomic subgroup with the easy
+        // part of the final exponentiation: f ↦ f^((p^6-1)(p^2+1)).
+        let mut r = rng();
+        for _ in 0..5 {
+            let f = Fp12::random(&mut r);
+            let t = f.conjugate() * f.invert().unwrap();
+            let u = t.frobenius_p2() * t;
+            assert_eq!(u.cyclotomic_square(), u.square());
+        }
+        assert_eq!(Fp12::one().cyclotomic_square(), Fp12::one());
     }
 
     #[test]

@@ -44,6 +44,21 @@ impl Fp2 {
         Fp2::new(Fp::one(), Fp::one())
     }
 
+    /// The inverse `ξ⁻¹` of the tower non-residue, computed once per
+    /// process and shared (it scales every untwisted `G2` coordinate in
+    /// the Tate Miller loop, which previously paid one field inversion
+    /// per pair per pairing call).
+    pub fn xi_inv() -> Self {
+        static XI_INV: std::sync::OnceLock<Fp2> = std::sync::OnceLock::new();
+        *XI_INV.get_or_init(|| Fp2::xi().invert().expect("xi is non-zero"))
+    }
+
+    /// The `p`-power Frobenius endomorphism, which on `Fp2` coincides
+    /// with conjugation (`p ≡ 3 mod 4`, so `u^p = -u`).
+    pub fn frobenius_p(&self) -> Self {
+        self.conjugate()
+    }
+
     /// Returns `true` for the additive identity.
     pub fn is_zero(&self) -> bool {
         self.c0.is_zero() && self.c1.is_zero()
@@ -280,6 +295,21 @@ mod tests {
         let mut r = rng();
         let a = Fp2::random(&mut r);
         assert_eq!(a.mul_by_xi(), a * Fp2::xi());
+    }
+
+    #[test]
+    fn xi_inv_is_the_inverse() {
+        assert_eq!(Fp2::xi() * Fp2::xi_inv(), Fp2::one());
+        // Idempotent: repeated reads return the same cached value.
+        assert_eq!(Fp2::xi_inv(), Fp2::xi_inv());
+    }
+
+    #[test]
+    fn frobenius_p_is_conjugation() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        assert_eq!(a.frobenius_p(), a.conjugate());
+        assert_eq!(a.frobenius_p().frobenius_p(), a);
     }
 
     #[test]

@@ -1,9 +1,18 @@
 //! Cubic extension `Fp6 = Fp2[v]/(v³ - ξ)` with `ξ = 1 + u`.
 
+use crate::constants::FROB1_GAMMA;
 use crate::fp::Fp;
 use crate::fp2::Fp2;
 use crate::traits::Field;
 use rand::RngCore;
+
+/// The cached Frobenius coefficient `γ_i = ξ^(i(p-1)/6) ∈ Fp2`.
+pub(crate) fn frob1_gamma(i: usize) -> Fp2 {
+    Fp2::new(
+        Fp::from_canonical_limbs(FROB1_GAMMA[i][0]),
+        Fp::from_canonical_limbs(FROB1_GAMMA[i][1]),
+    )
+}
 
 /// An element `c0 + c1·v + c2·v²` of `Fp6`, with `v³ = ξ`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,6 +68,35 @@ impl Fp6 {
             self.c1.mul_by_fp(a),
             self.c2.mul_by_fp(a),
         )
+    }
+
+    /// The `p`-power Frobenius endomorphism: conjugate each `Fp2`
+    /// coefficient, then scale the `v` and `v²` coefficients by
+    /// `γ_2 = ξ^((p-1)/3)` and `γ_4 = ξ^(2(p-1)/3)` (from `v^p = γ_2·v`).
+    pub fn frobenius_p(&self) -> Self {
+        Fp6::new(
+            self.c0.conjugate(),
+            self.c1.conjugate() * frob1_gamma(2),
+            self.c2.conjugate() * frob1_gamma(4),
+        )
+    }
+
+    /// Sparse multiplication by an element `b1·v` (only the `v`
+    /// coefficient non-zero) — 3 `Fp2` multiplications instead of the
+    /// generic 6 (used by the Miller-loop line products).
+    pub fn mul_by_1(&self, b1: &Fp2) -> Self {
+        Fp6::new((self.c2 * *b1).mul_by_xi(), self.c0 * *b1, self.c1 * *b1)
+    }
+
+    /// Sparse multiplication by an element `b0 + b1·v` (the `v²`
+    /// coefficient zero) — 5 `Fp2` multiplications via Karatsuba.
+    pub fn mul_by_01(&self, b0: &Fp2, b1: &Fp2) -> Self {
+        let a_a = self.c0 * *b0;
+        let b_b = self.c1 * *b1;
+        let t1 = ((self.c1 + self.c2) * *b1 - b_b).mul_by_xi() + a_a;
+        let t2 = (*b0 + *b1) * (self.c0 + self.c1) - a_a - b_b;
+        let t3 = (self.c0 + self.c2) * *b0 - a_a + b_b;
+        Fp6::new(t1, t2, t3)
     }
 
     /// `self * self`.
@@ -211,6 +249,35 @@ mod tests {
         let a = Fp6::random(&mut r);
         let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
         assert_eq!(a.mul_by_v(), a * v);
+    }
+
+    #[test]
+    fn sparse_muls_match_generic() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp6::random(&mut r);
+            let b0 = Fp2::random(&mut r);
+            let b1 = Fp2::random(&mut r);
+            assert_eq!(a.mul_by_1(&b1), a * Fp6::new(Fp2::zero(), b1, Fp2::zero()));
+            assert_eq!(a.mul_by_01(&b0, &b1), a * Fp6::new(b0, b1, Fp2::zero()));
+        }
+    }
+
+    #[test]
+    fn frobenius_p_is_field_homomorphism_of_order_six() {
+        let mut r = rng();
+        let a = Fp6::random(&mut r);
+        let b = Fp6::random(&mut r);
+        assert_eq!((a * b).frobenius_p(), a.frobenius_p() * b.frobenius_p());
+        assert_eq!((a + b).frobenius_p(), a.frobenius_p() + b.frobenius_p());
+        let mut c = a;
+        for _ in 0..6 {
+            c = c.frobenius_p();
+        }
+        assert_eq!(c, a);
+        // Fixes the prime field.
+        let e = Fp6::from_fp2(Fp2::from_fp(Fp::from_u64(11)));
+        assert_eq!(e.frobenius_p(), e);
     }
 
     #[test]

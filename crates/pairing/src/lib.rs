@@ -12,7 +12,10 @@
 //! * [`Fp2`], [`Fp6`], [`Fp12`] — the tower used by the pairing;
 //! * [`G1Projective`]/[`G1Affine`] — the group `G` (signatures, hashes);
 //! * [`G2Projective`]/[`G2Affine`] — the group `Ĝ` (keys, commitments);
-//! * [`Gt`], [`pairing`], [`multi_pairing`] — the target group and map;
+//! * [`Gt`], [`pairing`], [`multi_pairing`] — the target group and the
+//!   optimal-ate pairing engine; [`G2Prepared`]/[`multi_pairing_prepared`]
+//!   cache the Miller line coefficients of fixed second arguments;
+//!   [`pairing_tate`] retains the Tate reference engine;
 //! * [`hash_to_g1`], [`hash_to_g2`], [`hash_to_g1_vector`], [`hash_to_fr`]
 //!   — the paper's random oracles;
 //! * [`msm`] — multi-scalar multiplication ("Lagrange in the exponent");
@@ -66,10 +69,14 @@ pub use fp6::Fp6;
 pub use fr::Fr;
 pub use hash_to_curve::{hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2};
 pub use msm::msm;
-pub use pairing::{multi_pairing, pairing, Gt};
+pub use pairing::{
+    final_exponentiation, multi_miller_loop, multi_pairing, multi_pairing_mixed,
+    multi_pairing_prepared, multi_pairing_tate, pairing, pairing_tate, pairing_tate_g2, G2Prepared,
+    Gt,
+};
 pub use precompute::{
-    g1_generator_table, g2_generator_table, mul_g1_generator, mul_g2_generator, FixedBaseTable,
-    G1Table, G2Table,
+    g1_generator_table, g2_generator_prepared, g2_generator_table, mul_g1_generator,
+    mul_g2_generator, FixedBaseTable, G1Table, G2Table,
 };
 pub use sha256::{expand_message, sha256, sha256_tagged, Sha256};
 pub use traits::{batch_invert, Field};

@@ -1,36 +1,72 @@
-//! The bilinear map `e : G1 × G2 → GT`.
+//! The bilinear map `e : G1 × G2 → GT`, built around the *optimal ate
+//! pairing* (Vercauteren) with the reduced Tate pairing retained as the
+//! slow reference.
 //!
-//! We implement the *reduced Tate pairing* with denominator elimination
-//! (Barreto–Kim–Lynn–Scott): for `P ∈ G1 ⊂ E(Fp)` and `Q ∈ G2 ⊂ E'(Fp2)`,
+//! ## The production engine
+//!
+//! For `P ∈ G1 ⊂ E(Fp)` and `Q ∈ G2 ⊂ E'(Fp2)` the engine computes
 //!
 //! ```text
-//!     e(P, Q) = f_{r,P}(ψ(Q))^((p¹² - 1)/r)
+//!     e(P, Q) = f_{x,Q}(P)^(3·(p¹² - 1)/r),    x = -0xd201000000010000
 //! ```
 //!
-//! where `ψ : E'(Fp2) → E(Fp12)` is the untwisting isomorphism
-//! `(x, y) ↦ (x/w², y/w³)`. The Miller loop runs over the bits of the group
-//! order `r` with all point arithmetic in `Fp` (cheap), evaluating sparse
-//! line functions at `ψ(Q)`. Vertical-line denominators land in the
-//! subfield `Fp6` and are annihilated by the final exponentiation, so they
-//! are dropped.
-//!
-//! The final exponentiation splits into the *easy part*
-//! `(p⁶-1)(p²+1)` (conjugation, one inversion, one Frobenius) and the
-//! *hard part* `(p⁴-p²+1)/r`, computed as a plain variable-time power with
-//! a precomputed 1270-bit exponent. This is slower than the cyclotomic
-//! addition chains used by production libraries but straightforwardly
-//! correct — an explicit trade-off documented in DESIGN.md.
+//! * **Short Miller loop** — 63 iterations over the bits of the 64-bit
+//!   BLS parameter `|x|` ([`crate::constants::BLS_X`]) instead of 254
+//!   over the 255-bit group order `r`. Point arithmetic runs on the
+//!   `G2` side (Jacobian over `Fp2`), emitting per-step *line
+//!   coefficients* that are evaluated at `P` and folded into the
+//!   accumulator with the sparse product [`Fp12::mul_by_014`]. The
+//!   parameter's sign is handled by one final conjugation.
+//! * **Prepared second arguments** — the line coefficients depend only
+//!   on `Q`, so a [`G2Prepared`] caches the whole coefficient vector for
+//!   a fixed `Q` (generators, long-lived public keys) and
+//!   [`multi_pairing_prepared`] / [`multi_pairing_mixed`] replay it with
+//!   no `Fp2` point arithmetic at all — the pairing analogue of the
+//!   fixed-base tables in [`crate::precompute`].
+//! * **Cyclotomic final exponentiation** — the easy part
+//!   `(p⁶-1)(p²+1)` (conjugation, one inversion, one Frobenius) followed
+//!   by the standard `x`-power addition chain over Granger–Scott
+//!   [`Fp12::cyclotomic_square`]s and the full `p`-power Frobenius
+//!   ladder, computing `m^(3λ)` with `λ = (p⁴-p²+1)/r` — roughly 4×64
+//!   cyclotomic squarings instead of a generic 1270-bit power. The
+//!   harmless factor 3 (coprime to `r`) is the standard chain variant.
 //!
 //! [`multi_pairing`] evaluates `Π e(P_i, Q_i)` with a *shared* Miller
 //! accumulator (one squaring cascade and one final exponentiation for the
 //! whole product), which is what makes the scheme's four-pairing
 //! verification equations economical.
+//!
+//! ## The retained references
+//!
+//! [`pairing_tate`] / [`multi_pairing_tate`] keep the original engine —
+//! a 255-bit Tate Miller loop over `G1` with denominator elimination and
+//! a generic-power hard part — as the property-test reference, mirroring
+//! the role of `mul_schoolbook` for scalar multiplication.
+//! [`pairing_tate_g2`] is the swapped-argument reduced Tate pairing
+//! `f_{r,Q}(P)^((p¹²-1)/r)`, which relates to the ate engine by a *fixed,
+//! precomputed exponent* ([`crate::constants::ATE_TATE_EXP`], the
+//! Hess–Smart–Vercauteren constant times the chain's factor 3):
+//!
+//! ```text
+//!     pairing(P, Q) = pairing_tate_g2(P, Q)^ATE_TATE_EXP
+//! ```
+//!
+//! The `pairing_engine` property suite enforces this identity on random
+//! and edge inputs, checks the hard-part chain against the retained
+//! generic power, and pins both engines to the same bilinear map up to
+//! the fixed change of `GT` generator. The G1-side Tate pairing
+//! `f_{r,P}(Q)` is *not* a fixed power of the ate pairing with any
+//! closed-form exponent (the argument swap constant is a Weil-pairing
+//! discrete log), which is why the strict relation is stated against the
+//! G2-side reference.
 
-use crate::constants::{FINAL_EXP_HARD, ORDER};
-use crate::curve::{G1Affine, G1Projective, G2Affine};
+use crate::constants::{BLS_X, FINAL_EXP_HARD, ORDER};
+use crate::curve::{G1Affine, G1Projective, G2Affine, G2Projective};
 
+use crate::fp::Fp;
 use crate::fp12::Fp12;
 use crate::fp2::Fp2;
+use crate::fp6::Fp6;
 use crate::fr::Fr;
 use crate::traits::Field;
 
@@ -61,9 +97,37 @@ impl Gt {
         Gt(self.0.conjugate())
     }
 
-    /// Variable-time exponentiation by a scalar.
+    /// Variable-time exponentiation by a scalar: width-4 wNAF over
+    /// cyclotomic squarings ([`Fp2`]-cheap, valid because `GT` lies in
+    /// the cyclotomic subgroup), with conjugation serving negative
+    /// digits. Equivalence with the generic square-and-multiply power is
+    /// enforced by the `pairing_engine` property suite.
     pub fn pow(&self, k: &Fr) -> Self {
-        Gt(self.0.pow_vartime(&k.to_le_bits()))
+        const WIDTH: usize = 4;
+        let digits = k.to_wnaf(WIDTH);
+        if digits.is_empty() {
+            return Gt::identity();
+        }
+        // Odd powers f^1, f^3, f^5, f^7.
+        let squared = self.0.square();
+        let mut table = [Fp12::one(); 1 << (WIDTH - 2)];
+        let mut cur = self.0;
+        for slot in table.iter_mut() {
+            *slot = cur;
+            cur *= squared;
+        }
+        let top = digits[digits.len() - 1];
+        debug_assert!(top > 0, "wNAF top digit must be positive");
+        let mut acc = table[(top as usize - 1) / 2];
+        for &d in digits.iter().rev().skip(1) {
+            acc = acc.cyclotomic_square();
+            if d > 0 {
+                acc *= table[(d as usize - 1) / 2];
+            } else if d < 0 {
+                acc *= table[((-d) as usize - 1) / 2].conjugate();
+            }
+        }
+        Gt(acc)
     }
 
     /// Exposes the underlying `Fp12` element (e.g. for hashing/serializing).
@@ -84,7 +148,292 @@ impl core::ops::MulAssign for Gt {
     }
 }
 
-/// Per-pair state of the shared Miller loop.
+// ===========================================================================
+// Optimal-ate engine
+// ===========================================================================
+
+/// One evaluated Miller line in coefficient form `(c0, c1, c4)`:
+/// the sparse element is `c0 + (c1·x_P)·v + (c4·y_P)·v·w` once scaled by
+/// the affine coordinates of the `G1` argument.
+type LineCoeffs = (Fp2, Fp2, Fp2);
+
+/// Doubling step of the `G2`-side Miller loop: advances `T ← 2T`
+/// (Jacobian `dbl-2009-l`, shared intermediates with the tangent line)
+/// and returns the tangent-line coefficients at `T`, scaled by
+/// `2YZ³ ∈ Fp2` (killed by the final exponentiation).
+fn g2_double_step(t: &mut G2Projective) -> LineCoeffs {
+    let (x, y, z) = (t.x, t.y, t.z);
+    let a = x.square();
+    let b = y.square();
+    let c = b.square();
+    let d = ((x + b).square() - a - c).double();
+    let e = a.double() + a; // 3X²
+    let fq = e.square();
+    let x3 = fq - d.double();
+    let y3 = e * (d - x3) - c.double().double().double();
+    let z3 = (y * z).double();
+    // Tangent line ℓ = (2YZ³)·y_P·w³ − (3X²Z²)·x_P·w² + (3X³ − 2Y²).
+    let zz = z.square();
+    let coeff_y = z3 * zz; // 2YZ³
+    let coeff_x = e * zz; // 3X²Z²
+    let constant = e * x - b.double(); // 3X³ − 2Y²
+    *t = G2Projective {
+        x: x3,
+        y: y3,
+        z: z3,
+    };
+    (constant, -coeff_x, coeff_y)
+}
+
+/// Addition step of the `G2`-side Miller loop: advances `T ← T + Q`
+/// (fused `madd-2007-bl`, intermediates shared with the chord line, like
+/// the doubling step) and returns the chord-line coefficients through
+/// `T` and `Q`, scaled by `Z(X − x_Q·Z²) ∈ Fp2` (killed by the final
+/// exponentiation).
+///
+/// The straight-line formulas rely on `T ≠ ±Q` up to the last step:
+/// inside both Miller loops `T = kQ` with `1 < k < r` a strict prefix of
+/// the loop scalar, so `T = ±Q` would need `k ≡ ±1 (mod r)` — reachable
+/// only at the final Tate-loop step `k = r - 1`, where `h = 0` makes the
+/// formulas degrade gracefully to the identity (`Z3 = 0`) and the
+/// returned line is the correct vertical `x − x_Q` (times an `Fp2`
+/// scale).
+fn g2_add_step(t: &mut G2Projective, q: &G2Affine) -> LineCoeffs {
+    let (x, y, z) = (t.x, t.y, t.z);
+    let (xq, yq) = (q.x(), q.y());
+    let zz = z.square();
+    let u2 = xq * zz;
+    let s2 = yq * z * zz;
+    // ℓ = c1·y_P·w³ − c2·x_P·w² + (c2·x_Q − c1·y_Q)
+    // with c1 = Z(X − x_Q Z²) = −Z·h, c2 = Y − y_Q Z³ = Y − S2.
+    let h = u2 - x;
+    let c1 = -(z * h);
+    let c2 = y - s2;
+    let constant = c2 * xq - c1 * yq;
+    // madd-2007-bl point update, reusing zz / h / s2.
+    let hh = h.square();
+    let i = hh.double().double();
+    let j = h * i;
+    let rr = (-c2).double(); // 2(S2 − Y)
+    let v = x * i;
+    let x3 = rr.square() - j - v.double();
+    let y3 = rr * (v - x3) - (y * j).double();
+    let z3 = (z + h).square() - zz - hh;
+    *t = G2Projective {
+        x: x3,
+        y: y3,
+        z: z3,
+    };
+    (constant, -c2, c1)
+}
+
+/// Folds a line into the Miller accumulator, evaluated at `(x_P, y_P)`.
+#[inline]
+fn ell(f: &Fp12, coeffs: &LineCoeffs, px: &Fp, py: &Fp) -> Fp12 {
+    f.mul_by_014(&coeffs.0, &coeffs.1.mul_by_fp(px), &coeffs.2.mul_by_fp(py))
+}
+
+/// Number of line coefficients one ate Miller loop produces: one per
+/// doubling (63) plus one per set low bit of `BLS_X` (5).
+fn ate_coeff_count() -> usize {
+    63 + (BLS_X.count_ones() as usize - 1)
+}
+
+/// A `G2` element preprocessed for pairing: the full vector of Miller
+/// line coefficients for the ate loop, so pairings against it perform no
+/// `Fp2` point arithmetic at all. Build once for long-lived second
+/// arguments (the generator, `(ĝ_z, ĝ_r)`, public keys) and reuse via
+/// [`multi_pairing_prepared`] / [`multi_pairing_mixed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct G2Prepared {
+    infinity: bool,
+    coeffs: Vec<LineCoeffs>,
+}
+
+impl G2Prepared {
+    /// Runs the ate Miller loop point arithmetic once for `q`, caching
+    /// every line coefficient.
+    pub fn new(q: &G2Affine) -> Self {
+        if q.is_identity() {
+            return G2Prepared {
+                infinity: true,
+                coeffs: Vec::new(),
+            };
+        }
+        let mut t = q.to_projective();
+        let mut coeffs = Vec::with_capacity(ate_coeff_count());
+        for i in (0..63).rev() {
+            coeffs.push(g2_double_step(&mut t));
+            if (BLS_X >> i) & 1 == 1 {
+                coeffs.push(g2_add_step(&mut t, q));
+            }
+        }
+        G2Prepared {
+            infinity: false,
+            coeffs,
+        }
+    }
+
+    /// Returns `true` if this prepares the identity (pairings against it
+    /// contribute the factor `1`).
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+}
+
+impl From<&G2Affine> for G2Prepared {
+    fn from(q: &G2Affine) -> Self {
+        G2Prepared::new(q)
+    }
+}
+
+/// Shared ate Miller loop over a mix of on-the-fly and prepared second
+/// arguments. Returns `Π f_{x,Q_i}(P_i)` (conjugated for the negative
+/// parameter); identity inputs contribute the factor `1`.
+fn miller_loop_ate(
+    pairs: &[(&G1Affine, &G2Affine)],
+    prepared: &[(&G1Affine, &G2Prepared)],
+) -> Fp12 {
+    // Live state per unprepared pair: (x_P, y_P, T, Q).
+    let mut live: Vec<(Fp, Fp, G2Projective, G2Affine)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| (p.x(), p.y(), q.to_projective(), **q))
+        .collect();
+    // Prepared pairs replay their coefficient stream by index.
+    let pre: Vec<(Fp, Fp, &[LineCoeffs])> = prepared
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.infinity)
+        .map(|(p, q)| (p.x(), p.y(), q.coeffs.as_slice()))
+        .collect();
+    let mut f = Fp12::one();
+    if live.is_empty() && pre.is_empty() {
+        return f;
+    }
+    let mut idx = 0usize;
+    for i in (0..63).rev() {
+        f = f.square();
+        for (px, py, t, _) in live.iter_mut() {
+            let c = g2_double_step(t);
+            f = ell(&f, &c, px, py);
+        }
+        for (px, py, coeffs) in pre.iter() {
+            f = ell(&f, &coeffs[idx], px, py);
+        }
+        idx += 1;
+        if (BLS_X >> i) & 1 == 1 {
+            for (px, py, t, q) in live.iter_mut() {
+                let c = g2_add_step(t, q);
+                f = ell(&f, &c, px, py);
+            }
+            for (px, py, coeffs) in pre.iter() {
+                f = ell(&f, &coeffs[idx], px, py);
+            }
+            idx += 1;
+        }
+    }
+    // The BLS parameter x is negative: f_{x,Q} = conj(f_{|x|,Q}) after
+    // final exponentiation, folded in here.
+    f.conjugate()
+}
+
+/// `f^x` for `f` in the cyclotomic subgroup, with `x` the (negative) BLS
+/// parameter: square-and-multiply over the bits of `|x|` using
+/// cyclotomic squarings, then one conjugation for the sign.
+fn cyclotomic_exp_x(f: &Fp12) -> Fp12 {
+    let mut tmp = Fp12::one();
+    let mut started = false;
+    for i in (0..64).rev() {
+        if started {
+            tmp = tmp.cyclotomic_square();
+        }
+        if (BLS_X >> i) & 1 == 1 {
+            tmp *= *f;
+            started = true;
+        }
+    }
+    tmp.conjugate()
+}
+
+/// The final exponentiation `f ↦ f^(3·(p¹²-1)/r)`: the easy part
+/// `(p⁶-1)(p²+1)` followed by the standard BLS12 `x`-power addition chain
+/// for `3·(p⁴-p²+1)/r` over cyclotomic squarings and `p`-power Frobenius
+/// maps. Agreement with the retained generic power
+/// ([`crate::constants::FINAL_EXP_HARD`], up to the cube) is enforced by
+/// the `pairing_engine` property suite.
+pub fn final_exponentiation(f: &Fp12) -> Gt {
+    // Easy part: m = f^((p^6-1)(p^2+1)), which lands in the cyclotomic
+    // subgroup and makes every later inverse a conjugation.
+    let t = f.conjugate() * f.invert().expect("Miller output is non-zero");
+    let m = t.frobenius_p2() * t;
+    // Hard part: m^(3(p^4-p^2+1)/r) by the x-power addition chain.
+    let mut t1 = m.cyclotomic_square().conjugate();
+    let mut t3 = cyclotomic_exp_x(&m);
+    let mut t4 = t3.cyclotomic_square();
+    let mut t5 = t1 * t3;
+    t1 = cyclotomic_exp_x(&t5);
+    let t0 = cyclotomic_exp_x(&t1);
+    let mut t6 = cyclotomic_exp_x(&t0);
+    t6 *= t4;
+    t4 = cyclotomic_exp_x(&t6);
+    t5 = t5.conjugate();
+    t4 = t4 * t5 * m;
+    t5 = m.conjugate();
+    t1 *= m;
+    t1 = t1.frobenius_p3();
+    t6 *= t5;
+    t6 = t6.frobenius_p();
+    t3 *= t0;
+    t3 = t3.frobenius_p2();
+    t3 *= t1;
+    t3 *= t6;
+    Gt(t3 * t4)
+}
+
+/// The shared ate Miller loop `Π f_{x,Q_i}(P_i)` without the final
+/// exponentiation (exposed for batching layers and the test suite; apply
+/// [`final_exponentiation`] to obtain the pairing product).
+pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
+    miller_loop_ate(pairs, &[])
+}
+
+/// Computes the pairing `e(P, Q)` with the optimal-ate engine.
+///
+/// Returns the identity if either input is the identity.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    final_exponentiation(&miller_loop_ate(&[(p, q)], &[]))
+}
+
+/// Computes the product `Π e(P_i, Q_i)` with a single shared Miller loop
+/// and one final exponentiation — the workhorse of all verification
+/// equations in this workspace.
+pub fn multi_pairing(pairs: &[(&G1Affine, &G2Affine)]) -> Gt {
+    final_exponentiation(&miller_loop_ate(pairs, &[]))
+}
+
+/// [`multi_pairing`] with every second argument preprocessed: no `Fp2`
+/// point arithmetic, just coefficient replay.
+pub fn multi_pairing_prepared(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
+    final_exponentiation(&miller_loop_ate(&[], pairs))
+}
+
+/// The general form: a product over on-the-fly pairs and prepared pairs
+/// sharing one Miller accumulator and one final exponentiation. The
+/// verification paths in `core` use this to pair cached fixed elements
+/// (generators, public keys) with per-call ones.
+pub fn multi_pairing_mixed(
+    pairs: &[(&G1Affine, &G2Affine)],
+    prepared: &[(&G1Affine, &G2Prepared)],
+) -> Gt {
+    final_exponentiation(&miller_loop_ate(pairs, prepared))
+}
+
+// ===========================================================================
+// Retained Tate references
+// ===========================================================================
+
+/// Per-pair state of the shared G1-side Tate Miller loop (the retained
+/// reference engine).
 struct MillerPair {
     /// Accumulator point `T = kP`, Jacobian over `Fp`.
     t: G1Projective,
@@ -98,7 +447,9 @@ struct MillerPair {
 
 impl MillerPair {
     fn new(p: &G1Affine, q: &G2Affine) -> Self {
-        let xi_inv = Fp2::xi().invert().expect("xi is non-zero");
+        // ξ⁻¹ is a process-wide lazily initialized constant — previously
+        // this cost one field inversion per pair per call.
+        let xi_inv = Fp2::xi_inv();
         MillerPair {
             t: p.to_projective(),
             p: *p,
@@ -159,7 +510,7 @@ impl MillerPair {
 
 /// Evaluates the product of Miller functions `Π f_{r,P_i}(ψ(Q_i))` with a
 /// shared accumulator. Identity inputs contribute the factor `1`.
-fn miller_loop(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
+fn miller_loop_tate(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
     let mut state: Vec<MillerPair> = pairs
         .iter()
         .filter(|(p, q)| !p.is_identity() && !q.is_identity())
@@ -184,32 +535,63 @@ fn miller_loop(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
     f
 }
 
-/// The final exponentiation `f ↦ f^((p¹²-1)/r)`.
-fn final_exponentiation(f: &Fp12) -> Gt {
-    // Easy part: f^((p^6-1)(p^2+1)).
+/// The reference final exponentiation `f ↦ f^((p¹²-1)/r)`: easy part plus
+/// a plain variable-time power by the precomputed 1270-bit hard exponent
+/// [`crate::constants::FINAL_EXP_HARD`]. Deliberately generic — it is
+/// what the cyclotomic chain is property-tested against.
+fn final_exponentiation_generic(f: &Fp12) -> Gt {
     let t0 = f.conjugate() * f.invert().expect("Miller output is non-zero");
     let t1 = t0.frobenius_p2() * t0;
-    // Hard part: plain power by the precomputed exponent (p^4-p^2+1)/r.
     Gt(t1.pow_vartime(&FINAL_EXP_HARD))
 }
 
-/// Computes the pairing `e(P, Q)`.
-///
-/// Returns the identity if either input is the identity.
-pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
-    final_exponentiation(&miller_loop(&[(p, q)]))
+/// The retained G1-side reduced Tate pairing `f_{r,P}(ψ(Q))^((p¹²-1)/r)`
+/// — the seed engine, kept verbatim as the slow reference (the
+/// `mul_schoolbook` of the pairing layer). Same bilinear map as
+/// [`pairing`] up to a fixed (closed-form-free) change of `GT` generator.
+pub fn pairing_tate(p: &G1Affine, q: &G2Affine) -> Gt {
+    final_exponentiation_generic(&miller_loop_tate(&[(p, q)]))
 }
 
-/// Computes the product `Π e(P_i, Q_i)` with a single shared Miller loop
-/// and one final exponentiation — the workhorse of all verification
-/// equations in this workspace.
-pub fn multi_pairing(pairs: &[(&G1Affine, &G2Affine)]) -> Gt {
-    final_exponentiation(&miller_loop(pairs))
+/// Multi-pairing form of the retained Tate reference.
+pub fn multi_pairing_tate(pairs: &[(&G1Affine, &G2Affine)]) -> Gt {
+    final_exponentiation_generic(&miller_loop_tate(pairs))
+}
+
+/// The swapped-argument reduced Tate pairing `f_{r,Q}(P)^((p¹²-1)/r)`:
+/// a 255-bit Miller loop on the `G2` side with the *generic* line product
+/// (full `Fp12` multiplications, no sparse path) and the generic-power
+/// final exponentiation. This is the strict reference for the ate engine:
+/// `pairing(P, Q) == pairing_tate_g2(P, Q)^ATE_TATE_EXP` exactly.
+pub fn pairing_tate_g2(p: &G1Affine, q: &G2Affine) -> Gt {
+    if p.is_identity() || q.is_identity() {
+        return Gt::identity();
+    }
+    let (px, py) = (p.x(), p.y());
+    // Full (non-sparse) line fold, independent of mul_by_014.
+    let fold = |f: Fp12, c: LineCoeffs| -> Fp12 {
+        let line = Fp12::new(
+            Fp6::new(c.0, c.1.mul_by_fp(&px), Fp2::zero()),
+            Fp6::new(Fp2::zero(), c.2.mul_by_fp(&py), Fp2::zero()),
+        );
+        f * line
+    };
+    let mut t = q.to_projective();
+    let mut f = Fp12::one();
+    for i in (0..=253usize).rev() {
+        f = f.square();
+        f = fold(f, g2_double_step(&mut t));
+        if (ORDER[i / 64] >> (i % 64)) & 1 == 1 {
+            f = fold(f, g2_add_step(&mut t, q));
+        }
+    }
+    final_exponentiation_generic(&f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constants::ATE_TATE_EXP;
     use crate::curve::{G1Projective, G2Projective};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -329,5 +711,99 @@ mod tests {
         let e = Gt::generator();
         assert_eq!(e.pow(&a) * e.pow(&b), e.pow(&(a + b)));
         assert_eq!(e.pow(&a).pow(&b), e.pow(&(a * b)));
+    }
+
+    #[test]
+    fn gt_pow_edge_scalars() {
+        let e = Gt::generator();
+        assert!(e.pow(&Fr::zero()).is_identity());
+        assert_eq!(e.pow(&Fr::one()), e);
+        let r_minus_1 = Fr::zero() - Fr::one();
+        assert_eq!(e.pow(&r_minus_1), e.inverse());
+        assert!(Gt::identity().pow(&Fr::from_u64(12345)).is_identity());
+    }
+
+    #[test]
+    fn prepared_matches_unprepared() {
+        let mut r = rng();
+        for _ in 0..3 {
+            let p = G1Projective::random(&mut r).to_affine();
+            let q = G2Projective::random(&mut r).to_affine();
+            let prep = G2Prepared::new(&q);
+            assert_eq!(multi_pairing_prepared(&[(&p, &prep)]), pairing(&p, &q));
+        }
+    }
+
+    #[test]
+    fn prepared_coeff_count_matches_loop() {
+        let prep = G2Prepared::new(&G2Affine::generator());
+        assert_eq!(prep.coeffs.len(), ate_coeff_count());
+        assert!(!prep.is_identity());
+        assert!(G2Prepared::new(&G2Affine::identity()).is_identity());
+    }
+
+    #[test]
+    fn mixed_matches_unprepared_product() {
+        let mut r = rng();
+        let pairs_proj: Vec<(G1Affine, G2Affine)> = (0..4)
+            .map(|_| {
+                (
+                    G1Projective::random(&mut r).to_affine(),
+                    G2Projective::random(&mut r).to_affine(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&G1Affine, &G2Affine)> = pairs_proj.iter().map(|(p, q)| (p, q)).collect();
+        let want = multi_pairing(&refs);
+        // Prepare the second half, leave the first half live.
+        let preps: Vec<G2Prepared> = pairs_proj[2..]
+            .iter()
+            .map(|(_, q)| G2Prepared::new(q))
+            .collect();
+        let prepared: Vec<(&G1Affine, &G2Prepared)> = pairs_proj[2..]
+            .iter()
+            .zip(preps.iter())
+            .map(|((p, _), t)| (p, t))
+            .collect();
+        assert_eq!(multi_pairing_mixed(&refs[..2], &prepared), want);
+        // Identity entries on both sides are skipped.
+        let id1 = G1Affine::identity();
+        let id_prep = G2Prepared::new(&G2Affine::identity());
+        let mut with_ids = prepared.clone();
+        with_ids.push((&id1, &preps[0]));
+        with_ids.push((&pairs_proj[0].0, &id_prep));
+        assert_eq!(multi_pairing_mixed(&refs[..2], &with_ids), want);
+    }
+
+    #[test]
+    fn ate_equals_tate_g2_to_the_fixed_power() {
+        let mut r = rng();
+        let fr_exp = {
+            // ATE_TATE_EXP as a scalar for Gt::pow.
+            Fr::from_canonical_limbs(ATE_TATE_EXP)
+        };
+        for _ in 0..2 {
+            let p = G1Projective::random(&mut r).to_affine();
+            let q = G2Projective::random(&mut r).to_affine();
+            assert_eq!(pairing(&p, &q), pairing_tate_g2(&p, &q).pow(&fr_exp));
+        }
+        // Edge inputs.
+        let g1 = G1Affine::generator();
+        let g2 = G2Affine::generator();
+        assert_eq!(pairing(&g1, &g2), pairing_tate_g2(&g1, &g2).pow(&fr_exp));
+        assert!(pairing_tate_g2(&G1Affine::identity(), &g2).is_identity());
+        assert!(pairing_tate_g2(&g1, &G2Affine::identity()).is_identity());
+    }
+
+    #[test]
+    fn tate_reference_still_bilinear() {
+        let mut r = rng();
+        let (a, b) = (Fr::random(&mut r), Fr::random(&mut r));
+        let p = G1Projective::generator().mul(&a).to_affine();
+        let q = G2Projective::generator().mul(&b).to_affine();
+        let gen = pairing_tate(&G1Affine::generator(), &G2Affine::generator());
+        assert_eq!(pairing_tate(&p, &q), gen.pow(&(a * b)));
+        let np = p.neg();
+        assert!(multi_pairing_tate(&[(&p, &q), (&np, &q)]).is_identity());
     }
 }

@@ -21,6 +21,7 @@
 use crate::curve::{Affine, CurveParams, G1Params, G2Params, Projective};
 use crate::fr::Fr;
 use crate::msm::extract_bits;
+use crate::pairing::G2Prepared;
 use std::sync::OnceLock;
 
 /// Precomputed window tables for one fixed base point.
@@ -119,6 +120,15 @@ pub fn g2_generator_table() -> &'static G2Table {
     TABLE.get_or_init(|| FixedBaseTable::new(&Projective::generator()))
 }
 
+/// The shared [`G2Prepared`] form of the `G2` generator: Miller line
+/// coefficients cached once per process, so every pairing against `g2`
+/// (e.g. `e(g1, g2)`-style sanity equations) skips all `Fp2` point
+/// arithmetic — the pairing analogue of the fixed-base tables above.
+pub fn g2_generator_prepared() -> &'static G2Prepared {
+    static PREP: OnceLock<G2Prepared> = OnceLock::new();
+    PREP.get_or_init(|| G2Prepared::new(&Affine::generator()))
+}
+
 /// `scalar · g1` through the shared generator table.
 pub fn mul_g1_generator(scalar: &Fr) -> Projective<G1Params> {
     g1_generator_table().mul(scalar)
@@ -161,6 +171,14 @@ mod tests {
             assert_eq!(table.mul(&s), want, "window={}", window);
             assert_eq!(table.window(), window);
         }
+    }
+
+    #[test]
+    fn shared_prepared_generator_matches_fresh() {
+        assert_eq!(
+            *g2_generator_prepared(),
+            G2Prepared::new(&crate::curve::G2Affine::generator())
+        );
     }
 
     #[test]
