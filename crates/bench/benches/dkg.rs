@@ -12,16 +12,22 @@ fn bench_dkg(c: &mut Criterion) {
     // Print the communication metrics table once (captured in bench logs).
     println!("\nE5 DKG communication (honest run, width 2):");
     println!(
-        "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14}",
-        "n", "t", "rounds", "active", "messages", "bytes"
+        "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14} {:>12}",
+        "n", "t", "rounds", "active", "messages", "bytes", "elapsed"
     );
     for n in [4usize, 8, 16] {
         let t = (n - 1) / 2;
         let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"bench-dkg", false);
         let (_, m) = run_dkg(&cfg, &BTreeMap::new(), 1).unwrap();
         println!(
-            "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14}",
-            n, t, m.total_rounds, m.active_rounds, m.messages, m.bytes
+            "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14} {:>9.1} ms",
+            n,
+            t,
+            m.total_rounds,
+            m.active_rounds,
+            m.messages,
+            m.bytes,
+            m.elapsed.as_secs_f64() * 1e3
         );
     }
 

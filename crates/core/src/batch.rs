@@ -36,6 +36,14 @@
 //!   sanity checks folded into the aggregate equation: `2ℓ + 2` pairings
 //!   and one final exponentiation for the whole statement list.
 //!
+//! Every batched equation here is also **multi-core**: per-item hashing
+//! and weighting fan out over [`borndist_parallel::par_map`], the MSMs
+//! parallelize their window accumulation, and the closing
+//! [`multi_pairing_mixed`] shards its Miller loop — all governed by
+//! [`borndist_parallel::Parallelism`] (`BORNDIST_THREADS=1` forces the
+//! sequential reference behavior) with bit-identical verdicts at every
+//! thread count, which `tests/parallel_invariance.rs` enforces.
+//!
 //! Equivalence with the per-item slow paths is enforced by the
 //! `tests/adversarial.rs` batch suite (a single forgery hidden among 63
 //! valid signatures must be rejected) and the agreement property tests.
@@ -49,6 +57,7 @@ use crate::standard::{
 };
 use borndist_grothsahai as gs;
 use borndist_pairing::{msm, multi_pairing_mixed, Fr, G1Affine, G1Projective, G2Affine};
+use borndist_parallel::{par_map, par_map_indexed};
 use borndist_shamir::ThresholdParams;
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -90,10 +99,11 @@ impl ThresholdScheme {
             return true;
         }
         let rho = random_weights(items.len(), rng);
-        // H(Mᵢ) ∈ G², both coordinates batch-normalized in one go.
+        // H(Mᵢ) ∈ G², hashed across threads (hash-to-curve dominates
+        // this path's cost) and batch-normalized in one go.
+        let per_item = par_map(items, |(msg, _)| self.hash_message(msg));
         let mut hashes: Vec<G1Projective> = Vec::with_capacity(2 * items.len());
-        for (msg, _) in items {
-            let h = self.hash_message(msg);
+        for h in per_item {
             if degenerate_hash(&h) {
                 return false;
             }
@@ -135,13 +145,21 @@ impl ThresholdScheme {
         let zs: Vec<G1Affine> = items.iter().map(|(_, _, s)| s.sig.z).collect();
         let rs: Vec<G1Affine> = items.iter().map(|(_, _, s)| s.sig.r).collect();
         // ρᵢ·H(Mᵢ): the per-key hash points keep their own pairing slot.
-        let mut weighted_hashes: Vec<G1Projective> = Vec::with_capacity(2 * items.len());
-        for ((_, msg, _), w) in items.iter().zip(rho.iter()) {
+        // Hashing and weighting are per-item pure work — fanned out
+        // across threads.
+        let per_item: Vec<Option<[G1Projective; 2]>> = par_map_indexed(items, |i, (_, msg, _)| {
             let h = self.hash_message(msg);
             if degenerate_hash(&h) {
-                return false;
+                return None;
             }
-            weighted_hashes.extend(h.into_iter().map(|p| p.mul(w)));
+            Some([h[0].mul(&rho[i]), h[1].mul(&rho[i])])
+        });
+        let mut weighted_hashes: Vec<G1Projective> = Vec::with_capacity(2 * items.len());
+        for pair in per_item {
+            let Some(pair) = pair else {
+                return false;
+            };
+            weighted_hashes.extend(pair);
         }
         let weighted_hashes = G1Projective::batch_to_affine(&weighted_hashes);
         let combined = G1Projective::batch_to_affine(&[msm(&zs, &rho), msm(&rs, &rho)]);
@@ -329,12 +347,19 @@ impl StandardScheme {
         // Per-statement G1 combinations: the weighted CRS vectors paired
         // with the proof, and ρ₂·g paired with the target key (the §4
         // "extra pair" has the identity in its first coordinate, so only
-        // the second equation contributes g).
-        let mut per_statement: Vec<G1Projective> = Vec::with_capacity(3 * statements.len());
-        for (s, w) in statements.iter().zip(rho.chunks(2)) {
-            per_statement.push(msm(&[s.crs.u1.0, s.crs.u1.1], w));
-            per_statement.push(msm(&[s.crs.u2.0, s.crs.u2.1], w));
-            per_statement.push(params.g.mul(&w[1]));
+        // the second equation contributes g). Each statement's three
+        // combinations are independent — computed across threads.
+        let per_stmt: Vec<[G1Projective; 3]> = par_map_indexed(statements, |i, s| {
+            let w = &rho[2 * i..2 * i + 2];
+            [
+                msm(&[s.crs.u1.0, s.crs.u1.1], w),
+                msm(&[s.crs.u2.0, s.crs.u2.1], w),
+                params.g.mul(&w[1]),
+            ]
+        });
+        let mut per_statement: Vec<G1Projective> = Vec::with_capacity(3 * statements.len() + 2);
+        for triple in per_stmt {
+            per_statement.extend(triple);
         }
         per_statement.extend([msm(&cz_points, &rho), msm(&cr_points, &rho)]);
         let flat = G1Projective::batch_to_affine(&per_statement);
@@ -473,9 +498,9 @@ impl AggregateScheme {
         let zs: Vec<G1Affine> = keys.iter().map(|k| k.z).collect();
         let rs: Vec<G1Affine> = keys.iter().map(|k| k.r).collect();
         let mut points = vec![msm(&zs, &rho), msm(&rs, &rho)];
-        for w in &rho {
-            points.push(self.bases.g.mul(w));
-            points.push(self.bases.h.mul(w));
+        // Per-key weighted bases, fanned out across threads.
+        for pair in par_map(&rho, |w| [self.bases.g.mul(w), self.bases.h.mul(w)]) {
+            points.extend(pair);
         }
         let points = G1Projective::batch_to_affine(&points);
         let prep = self.prepared_dp();
@@ -519,10 +544,17 @@ impl AggregateScheme {
             msm(&zs, &rho) + agg.z.mul(&rho0),
             msm(&rs, &rho) + agg.r.mul(&rho0),
         ];
-        for ((pk, msg), w) in statements.iter().zip(rho.iter()) {
+        // Per-statement hash + weighted-base work, fanned out across
+        // threads (hash-to-curve dominates).
+        let per_stmt = par_map_indexed(statements, |i, (pk, msg)| {
             let h = self.hash_message(pk, msg);
-            points.push(h[0].mul(&rho0) + self.bases.g.mul(w));
-            points.push(h[1].mul(&rho0) + self.bases.h.mul(w));
+            [
+                h[0].mul(&rho0) + self.bases.g.mul(&rho[i]),
+                h[1].mul(&rho0) + self.bases.h.mul(&rho[i]),
+            ]
+        });
+        for pair in per_stmt {
+            points.extend(pair);
         }
         let points = G1Projective::batch_to_affine(&points);
         let prep = self.prepared_dp();

@@ -22,6 +22,7 @@
 use crate::messages::{AggregateWitness, DkgMessage};
 use borndist_net::{Delivered, Outgoing, PlayerId, Protocol, Recipient, RoundAction};
 use borndist_pairing::{msm, multi_pairing, Fr, G1Affine, G1Projective, G2Affine};
+use borndist_parallel::par_map;
 use borndist_shamir::{
     PedersenBases, PedersenCommitment, PedersenShare, PedersenSharing, ThresholdParams,
 };
@@ -29,6 +30,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Below this many dealers the per-dealer checks run inline: the
+/// simulator drives all `n` players in one process, so spawning threads
+/// for a handful of sub-millisecond verifications costs more than it
+/// buys — the DKG analogue of the minimum-work guards in the pairing
+/// crate (`PAR_MIN_POINTS`, `MIN_PAIRS_PER_SHARD`).
+const PAR_MIN_DEALERS: usize = 8;
+
+/// [`par_map`] with the [`PAR_MIN_DEALERS`] small-input guard.
+fn par_map_dealers<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.len() < PAR_MIN_DEALERS {
+        items.iter().map(f).collect()
+    } else {
+        par_map(items, f)
+    }
+}
 
 /// Whether a run deals fresh random secrets or a proactive refresh
 /// (zero secrets, §3.3).
@@ -451,22 +468,28 @@ impl DkgPlayer {
     fn decide_complaints(&mut self) -> Vec<PlayerId> {
         let mut against: BTreeSet<PlayerId> =
             self.behavior.false_complaints.iter().copied().collect();
-        for dealer in 1..=self.n() as PlayerId {
-            if self.globally_bad.contains(&dealer) {
-                continue; // already publicly disqualified, no complaint needed
-            }
-            let Some(coms) = self.commitments.get(&dealer) else {
-                // Never broadcast: everyone sees this, treated as bad.
-                self.globally_bad.insert(dealer);
-                continue;
-            };
-            let ok = self
-                .shares_from
-                .get(&dealer)
+        // Dealers that never broadcast: everyone sees this, treated as
+        // bad (publicly disqualified, no complaint needed).
+        let missing: Vec<PlayerId> = (1..=self.n() as PlayerId)
+            .filter(|d| !self.globally_bad.contains(d) && !self.commitments.contains_key(d))
+            .collect();
+        self.globally_bad.extend(missing);
+        // Per-dealing share verification — the Pedersen commitment
+        // evaluation per dealer is independent pure work, fanned out
+        // across threads (borndist_parallel).
+        let dealers: Vec<PlayerId> = (1..=self.n() as PlayerId)
+            .filter(|d| !self.globally_bad.contains(d))
+            .collect();
+        let verdicts = par_map_dealers(&dealers, |dealer| {
+            let coms = &self.commitments[dealer];
+            self.shares_from
+                .get(dealer)
                 .map(|shares| self.shares_valid(coms, shares, self.id))
-                .unwrap_or(false);
+                .unwrap_or(false)
+        });
+        for (dealer, ok) in dealers.iter().zip(verdicts) {
             if !ok {
-                against.insert(dealer);
+                against.insert(*dealer);
             }
         }
         against.into_iter().collect()
@@ -524,31 +547,34 @@ impl DkgPlayer {
 
     fn finalize(&mut self) -> Result<DkgOutput, DkgAbort> {
         // Determine the qualified set Q from broadcast-only information,
-        // so every honest player derives the same set.
-        let mut qualified: BTreeSet<PlayerId> = (1..=self.n() as PlayerId).collect();
-        for dealer in 1..=self.n() as PlayerId {
-            if self.globally_bad.contains(&dealer) || !self.commitments.contains_key(&dealer) {
-                qualified.remove(&dealer);
-                continue;
+        // so every honest player derives the same set. Each dealer's
+        // verdict — including the complaint-answer share verifications —
+        // is a pure function of the broadcast record, so the dealers are
+        // judged across threads.
+        let all_dealers: Vec<PlayerId> = (1..=self.n() as PlayerId).collect();
+        let no_complaints = BTreeSet::new();
+        let keep = par_map_dealers(&all_dealers, |dealer| {
+            if self.globally_bad.contains(dealer) || !self.commitments.contains_key(dealer) {
+                return false;
             }
-            let complainers = self.complaints.get(&dealer).cloned().unwrap_or_default();
+            let complainers = self.complaints.get(dealer).unwrap_or(&no_complaints);
             if complainers.len() > self.t() {
-                qualified.remove(&dealer);
-                continue;
+                return false;
             }
-            let coms = &self.commitments[&dealer];
-            for c in &complainers {
-                let ok = self
-                    .answered
-                    .get(&(dealer, *c))
+            let coms = &self.commitments[dealer];
+            complainers.iter().all(|c| {
+                self.answered
+                    .get(&(*dealer, *c))
                     .map(|shares| self.shares_valid(coms, shares, *c))
-                    .unwrap_or(false);
-                if !ok {
-                    qualified.remove(&dealer);
-                    break;
-                }
-            }
-        }
+                    .unwrap_or(false)
+            })
+        });
+        let qualified: BTreeSet<PlayerId> = all_dealers
+            .iter()
+            .zip(keep.iter())
+            .filter(|(_, keep)| **keep)
+            .map(|(d, _)| *d)
+            .collect();
 
         if qualified.len() < self.t() + 1 {
             return Err(DkgAbort::TooFewQualified {
@@ -557,16 +583,19 @@ impl DkgPlayer {
         }
 
         // Per-sharing secret share: sum of dealer shares, preferring the
-        // publicly answered share when we complained.
+        // publicly answered share when we complained. The per-dealer
+        // validity of our private bundle is again parallel pure work.
+        let q_list: Vec<PlayerId> = qualified.iter().copied().collect();
+        let private_ok = par_map_dealers(&q_list, |dealer| {
+            self.shares_from
+                .get(dealer)
+                .map(|s| self.shares_valid(&self.commitments[dealer], s, self.id))
+                .unwrap_or(false)
+        });
         let mut share = vec![(Fr::zero(), Fr::zero()); self.cfg.width];
-        for dealer in &qualified {
-            let coms = &self.commitments[dealer];
-            let private = self.shares_from.get(dealer);
-            let use_private = private
-                .map(|s| self.shares_valid(coms, s, self.id))
-                .unwrap_or(false);
+        for (dealer, use_private) in q_list.iter().zip(private_ok) {
             let bundle: &Vec<PedersenShare> = if use_private {
-                private.unwrap()
+                &self.shares_from[dealer]
             } else if let Some(ans) = self.answered.get(&(*dealer, self.id)) {
                 ans
             } else {

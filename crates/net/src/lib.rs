@@ -21,6 +21,7 @@
 //! codec's framing overhead.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// 1-based player identifier (index `0` is reserved, matching the
 /// secret-sharing convention).
@@ -138,6 +139,12 @@ pub struct Metrics {
     pub bytes_by_player: BTreeMap<PlayerId, usize>,
     /// Per-round (messages, bytes).
     pub per_round: Vec<(usize, usize)>,
+    /// Wall-clock time of the whole run (all players' compute across all
+    /// rounds; communication is simulated in-process, so this measures
+    /// protocol computation — the latency dimension of experiment E5).
+    pub elapsed: Duration,
+    /// Per-round wall-clock time, aligned with [`Self::per_round`].
+    pub per_round_elapsed: Vec<Duration>,
 }
 
 /// Errors from a simulation run.
@@ -206,8 +213,10 @@ impl<M: Clone + WireSize, O> Simulator<M, O> {
             ids.iter().map(|id| (*id, Vec::new())).collect();
         let mut outputs: BTreeMap<PlayerId, O> = BTreeMap::new();
         let mut finished: std::collections::HashSet<PlayerId> = Default::default();
+        let run_start = Instant::now();
 
         for round in 0..max_rounds {
+            let round_start = Instant::now();
             let mut round_msgs = 0usize;
             let mut round_bytes = 0usize;
             let mut next_inboxes: BTreeMap<PlayerId, Vec<Delivered<M>>> =
@@ -260,6 +269,8 @@ impl<M: Clone + WireSize, O> Simulator<M, O> {
             self.metrics.messages += round_msgs;
             self.metrics.bytes += round_bytes;
             self.metrics.per_round.push((round_msgs, round_bytes));
+            self.metrics.per_round_elapsed.push(round_start.elapsed());
+            self.metrics.elapsed = run_start.elapsed();
             if round_msgs > 0 {
                 self.metrics.active_rounds += 1;
             }
@@ -345,6 +356,11 @@ mod tests {
         assert_eq!(m.per_round[0], (4, 4 * 8));
         assert_eq!(m.bytes, 8 * 8);
         assert_eq!(m.bytes_by_player[&1], 16);
+        // Wall-clock capture: one sample per driven round, and the run
+        // total covers at least the per-round sum.
+        assert_eq!(m.per_round_elapsed.len(), m.total_rounds);
+        let per_round_sum: Duration = m.per_round_elapsed.iter().sum();
+        assert!(m.elapsed >= per_round_sum);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`msm`] — multi-scalar multiplication ("Lagrange in the exponent");
 //! * [`FixedBaseTable`], [`batch_invert`] — the precomputation and
 //!   batching layer under the hot verify path (DESIGN.md §2);
+//! * [`parallel`] — the multi-core execution layer: MSM window
+//!   accumulation, Miller-loop sharding, and batched normalization all
+//!   fan out across [`parallel::Parallelism`]-configured threads with
+//!   bit-identical results at every thread count;
 //! * [`Sha256`] — the only hash primitive, also written from scratch.
 //!
 //! ## Example
@@ -70,9 +74,9 @@ pub use fr::Fr;
 pub use hash_to_curve::{hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2};
 pub use msm::msm;
 pub use pairing::{
-    final_exponentiation, multi_miller_loop, multi_pairing, multi_pairing_mixed,
-    multi_pairing_prepared, multi_pairing_tate, pairing, pairing_tate, pairing_tate_g2, G2Prepared,
-    Gt,
+    final_exponentiation, multi_miller_loop, multi_miller_loop_mixed, multi_pairing,
+    multi_pairing_mixed, multi_pairing_prepared, multi_pairing_tate, pairing, pairing_tate,
+    pairing_tate_g2, G2Prepared, Gt,
 };
 pub use precompute::{
     g1_generator_table, g2_generator_prepared, g2_generator_table, mul_g1_generator,
@@ -80,3 +84,9 @@ pub use precompute::{
 };
 pub use sha256::{expand_message, sha256, sha256_tagged, Sha256};
 pub use traits::{batch_invert, Field};
+
+/// The multi-core execution layer (re-export of `borndist_parallel`):
+/// [`parallel::Parallelism`], [`parallel::with_parallelism`],
+/// [`parallel::par_map`] / [`parallel::par_chunks`], and the
+/// `BORNDIST_THREADS` environment override.
+pub use borndist_parallel as parallel;

@@ -27,11 +27,55 @@ pub(crate) fn window_size(n: usize) -> usize {
     }
 }
 
+/// Inputs below this length never parallelize: a window pass over a
+/// handful of points finishes faster than a thread spawns.
+const PAR_MIN_POINTS: usize = 32;
+
+/// The bucket accumulation of one window: `Σ_j j·bucket[j]` over the
+/// `window`-bit digits starting at bit `lo`. A pure function of the
+/// input, so windows can be computed sequentially or in parallel with
+/// bit-identical results.
+fn window_sum<C: CurveParams>(
+    bases: &[Affine<C>],
+    bits: &[[u64; 4]],
+    lo: usize,
+    window: usize,
+) -> Projective<C> {
+    let bucket_count = (1usize << window) - 1;
+    let mut buckets = vec![Projective::<C>::identity(); bucket_count];
+    for (base, limbs) in bases.iter().zip(bits.iter()) {
+        let idx = extract_bits(limbs, lo, window);
+        if idx > 0 {
+            buckets[idx - 1] = buckets[idx - 1].add_affine(base);
+        }
+    }
+    // Collapse the buckets into Σ_j j·bucket[j] by suffix sums, in
+    // projective coordinates. Normalizing the buckets to affine first
+    // (one `batch_invert` per window, mixed adds after) was measured
+    // strictly slower at every input size on this substrate — one
+    // Fermat inversion (~380 field mults) per window never amortizes
+    // over at most 255 buckets saving ~5 mults each — so batched
+    // inversion is reserved for the paths where it wins
+    // (`batch_to_affine`, fixed-base table construction).
+    let mut running = Projective::identity();
+    let mut sum = Projective::identity();
+    for b in buckets.iter().rev() {
+        running += *b;
+        sum += running;
+    }
+    sum
+}
+
 /// Computes `Σ scalars[i] · bases[i]` over any of the curve groups.
 ///
 /// Uses a windowed bucket method with a window size chosen from the input
 /// length; falls back to naive (wNAF) per-point multiplication for very
-/// small inputs.
+/// small inputs. The per-window bucket accumulations are independent, so
+/// for inputs of [`PAR_MIN_POINTS`] or more points they run across the
+/// configured threads ([`borndist_parallel::current`]); the cheap Horner
+/// fold over the window sums (doublings plus one addition per window) is
+/// identical either way, so the result does not depend on the thread
+/// count.
 ///
 /// # Panics
 ///
@@ -55,37 +99,23 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
 
     let window = window_size(bases.len());
     let num_windows = 256_usize.div_ceil(window);
-    let bucket_count = (1usize << window) - 1;
     let bits: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_le_bits()).collect();
+
+    let windows: Vec<usize> = (0..num_windows).collect();
+    let compute = |w: &usize| window_sum(bases, &bits, *w * window, window);
+    let sums: Vec<Projective<C>> =
+        if bases.len() >= PAR_MIN_POINTS && borndist_parallel::current_threads() > 1 {
+            borndist_parallel::par_map(&windows, compute)
+        } else {
+            windows.iter().map(compute).collect()
+        };
 
     let mut result = Projective::identity();
     for w in (0..num_windows).rev() {
         for _ in 0..window {
             result = result.double();
         }
-        let mut buckets = vec![Projective::<C>::identity(); bucket_count];
-        let lo = w * window;
-        for (base, limbs) in bases.iter().zip(bits.iter()) {
-            let idx = extract_bits(limbs, lo, window);
-            if idx > 0 {
-                buckets[idx - 1] = buckets[idx - 1].add_affine(base);
-            }
-        }
-        // Collapse the buckets into Σ_j j·bucket[j] by suffix sums, in
-        // projective coordinates. Normalizing the buckets to affine first
-        // (one `batch_invert` per window, mixed adds after) was measured
-        // strictly slower at every input size on this substrate — one
-        // Fermat inversion (~380 field mults) per window never amortizes
-        // over at most 255 buckets saving ~5 mults each — so batched
-        // inversion is reserved for the paths where it wins
-        // (`batch_to_affine`, fixed-base table construction).
-        let mut running = Projective::identity();
-        let mut window_sum = Projective::identity();
-        for b in buckets.iter().rev() {
-            running += *b;
-            window_sum += running;
-        }
-        result += window_sum;
+        result += sums[w];
     }
     result
 }

@@ -337,6 +337,44 @@ fn miller_loop_ate(
     f.conjugate()
 }
 
+/// Minimum pairs per Miller shard: every shard pays its own 63-step
+/// `Fp12` squaring cascade (roughly one pair's worth of line folds), so
+/// single-pair shards would spend half their time on redundant
+/// squarings. Two pairs per shard caps that overhead at ~25%.
+const MIN_PAIRS_PER_SHARD: usize = 2;
+
+/// [`miller_loop_ate`] sharded across the available threads
+/// ([`borndist_parallel::current_threads`]): the concatenation of the
+/// live and prepared pair lists is split into balanced contiguous
+/// shards, each shard runs an independent Miller loop, and the partial
+/// values are folded with plain `Fp12` multiplications. The shared
+/// squaring cascade satisfies `(f₁f₂)² = f₁²f₂²`, so the folded product
+/// equals the joint loop **exactly** (field arithmetic is exact), and
+/// results are bit-identical for every thread count. One shared final
+/// exponentiation still closes the product.
+fn miller_loop_sharded(
+    pairs: &[(&G1Affine, &G2Affine)],
+    prepared: &[(&G1Affine, &G2Prepared)],
+) -> Fp12 {
+    let total = pairs.len() + prepared.len();
+    let shards = borndist_parallel::current_threads().min(total / MIN_PAIRS_PER_SHARD);
+    if shards <= 1 {
+        return miller_loop_ate(pairs, prepared);
+    }
+    // Balanced contiguous ranges over the virtual list pairs ++ prepared.
+    let ranges = borndist_parallel::chunk_bounds(total, shards);
+    let parts = borndist_parallel::par_map(&ranges, |&(a, b)| {
+        let live = &pairs[a.min(pairs.len())..b.min(pairs.len())];
+        let pre = &prepared[a.saturating_sub(pairs.len())..b.saturating_sub(pairs.len())];
+        miller_loop_ate(live, pre)
+    });
+    let mut f = Fp12::one();
+    for p in parts {
+        f *= p;
+    }
+    f
+}
+
 /// `f^x` for `f` in the cyclotomic subgroup, with `x` the (negative) BLS
 /// parameter: square-and-multiply over the bits of `|x|` using
 /// cyclotomic squarings, then one conjugation for the sign.
@@ -392,9 +430,21 @@ pub fn final_exponentiation(f: &Fp12) -> Gt {
 
 /// The shared ate Miller loop `Π f_{x,Q_i}(P_i)` without the final
 /// exponentiation (exposed for batching layers and the test suite; apply
-/// [`final_exponentiation`] to obtain the pairing product).
+/// [`final_exponentiation`] to obtain the pairing product). Sharded
+/// across threads for large products (see [`crate::parallel`]).
 pub fn multi_miller_loop(pairs: &[(&G1Affine, &G2Affine)]) -> Fp12 {
-    miller_loop_ate(pairs, &[])
+    miller_loop_sharded(pairs, &[])
+}
+
+/// [`multi_miller_loop`] over both live and prepared second arguments —
+/// the raw accumulator behind [`multi_pairing_mixed`], exposed so
+/// batching layers and the invariance tests can fold partial products
+/// themselves.
+pub fn multi_miller_loop_mixed(
+    pairs: &[(&G1Affine, &G2Affine)],
+    prepared: &[(&G1Affine, &G2Prepared)],
+) -> Fp12 {
+    miller_loop_sharded(pairs, prepared)
 }
 
 /// Computes the pairing `e(P, Q)` with the optimal-ate engine.
@@ -406,26 +456,30 @@ pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
 
 /// Computes the product `Π e(P_i, Q_i)` with a single shared Miller loop
 /// and one final exponentiation — the workhorse of all verification
-/// equations in this workspace.
+/// equations in this workspace. Products of four or more pairs shard
+/// their Miller loops across the configured threads
+/// ([`borndist_parallel::current`]); results are bit-identical for every
+/// thread count.
 pub fn multi_pairing(pairs: &[(&G1Affine, &G2Affine)]) -> Gt {
-    final_exponentiation(&miller_loop_ate(pairs, &[]))
+    final_exponentiation(&miller_loop_sharded(pairs, &[]))
 }
 
 /// [`multi_pairing`] with every second argument preprocessed: no `Fp2`
 /// point arithmetic, just coefficient replay.
 pub fn multi_pairing_prepared(pairs: &[(&G1Affine, &G2Prepared)]) -> Gt {
-    final_exponentiation(&miller_loop_ate(&[], pairs))
+    final_exponentiation(&miller_loop_sharded(&[], pairs))
 }
 
 /// The general form: a product over on-the-fly pairs and prepared pairs
 /// sharing one Miller accumulator and one final exponentiation. The
 /// verification paths in `core` use this to pair cached fixed elements
-/// (generators, public keys) with per-call ones.
+/// (generators, public keys) with per-call ones. Sharded across threads
+/// like [`multi_pairing`].
 pub fn multi_pairing_mixed(
     pairs: &[(&G1Affine, &G2Affine)],
     prepared: &[(&G1Affine, &G2Prepared)],
 ) -> Gt {
-    final_exponentiation(&miller_loop_ate(pairs, prepared))
+    final_exponentiation(&miller_loop_sharded(pairs, prepared))
 }
 
 // ===========================================================================

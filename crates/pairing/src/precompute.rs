@@ -52,8 +52,16 @@ impl<C: CurveParams> FixedBaseTable<C> {
     /// Builds the table with an explicit window width.
     ///
     /// Construction costs one pass of `2^window`-spaced additions
-    /// (~`2^window · 256/window` group additions) plus a single batched
+    /// (~`2^window · 256/window` group additions) plus batched
     /// inversion; amortized over many multiplications of the same base.
+    /// With more than one thread configured
+    /// ([`borndist_parallel::current`]), a short doubling ladder derives
+    /// the window bases `2^(w·window)·B` up front and the per-window
+    /// fills run in parallel; sequentially, the classic addition chain
+    /// (each window's last addition is the next window's base) is kept,
+    /// costing zero extra group operations. The stored points are
+    /// affine (canonical coordinates), so both paths build the
+    /// identical table — enforced by `tests/parallel_invariance.rs`.
     ///
     /// # Panics
     ///
@@ -63,16 +71,46 @@ impl<C: CurveParams> FixedBaseTable<C> {
         let num_windows = 256usize.div_ceil(window);
         let entries = (1usize << window) - 1;
         let mut flat: Vec<Projective<C>> = Vec::with_capacity(num_windows * entries);
-        // `window_base` walks through 2^(w·window)·B.
-        let mut window_base = *base;
-        for _ in 0..num_windows {
-            let mut cur = window_base;
-            for _ in 0..entries {
-                flat.push(cur);
-                cur = cur.add(&window_base);
+        if borndist_parallel::current_threads() <= 1 {
+            // Sequential: `window_base` walks through 2^(w·window)·B —
+            // each window's final addition *is* the next window's base,
+            // so the chain costs no extra group operations.
+            let mut window_base = *base;
+            for _ in 0..num_windows {
+                let mut cur = window_base;
+                for _ in 0..entries {
+                    flat.push(cur);
+                    cur = cur.add(&window_base);
+                }
+                // After `entries` additions, cur = 2^window · window_base.
+                window_base = cur;
             }
-            // After `entries` additions, cur = 2^window · window_base.
-            window_base = cur;
+        } else {
+            // Parallel: a short serial doubling ladder derives every
+            // window base up front (256 doublings — noise against the
+            // ~entries·num_windows additions it unlocks), then each
+            // window's multiples fill independently across threads.
+            let mut window_bases = Vec::with_capacity(num_windows);
+            let mut wb = *base;
+            for _ in 0..num_windows {
+                window_bases.push(wb);
+                for _ in 0..window {
+                    wb = wb.double();
+                }
+            }
+            let per_window: Vec<Vec<Projective<C>>> =
+                borndist_parallel::par_map(&window_bases, |window_base| {
+                    let mut col = Vec::with_capacity(entries);
+                    let mut cur = *window_base;
+                    for _ in 0..entries {
+                        col.push(cur);
+                        cur = cur.add(window_base);
+                    }
+                    col
+                });
+            for col in per_window {
+                flat.extend(col);
+            }
         }
         let flat = Projective::batch_to_affine(&flat);
         FixedBaseTable {

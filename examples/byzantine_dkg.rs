@@ -57,11 +57,26 @@ fn main() {
 
     println!("== Network metrics ==");
     println!(
-        "   total rounds: {}, active rounds: {}, messages: {}, bytes: {}",
-        metrics.total_rounds, metrics.active_rounds, metrics.messages, metrics.bytes
+        "   total rounds: {}, active rounds: {}, messages: {}, bytes: {}, wall-clock: {:.1} ms",
+        metrics.total_rounds,
+        metrics.active_rounds,
+        metrics.messages,
+        metrics.bytes,
+        metrics.elapsed.as_secs_f64() * 1e3
     );
-    for (round, (msgs, bytes)) in metrics.per_round.iter().enumerate() {
-        println!("   round {}: {} messages, {} bytes", round, msgs, bytes);
+    for (round, ((msgs, bytes), spent)) in metrics
+        .per_round
+        .iter()
+        .zip(metrics.per_round_elapsed.iter())
+        .enumerate()
+    {
+        println!(
+            "   round {}: {} messages, {} bytes, {:.1} ms",
+            round,
+            msgs,
+            bytes,
+            spent.as_secs_f64() * 1e3
+        );
     }
 
     println!("\n== Per-player outcomes ==");

@@ -9,7 +9,8 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`pairing`] | BLS12-381 fields, groups, Tate pairing, hash-to-curve, SHA-256 — all built here, no external crypto |
+//! | [`pairing`] | BLS12-381 fields, groups, optimal-ate pairing, hash-to-curve, SHA-256 — all built here, no external crypto |
+//! | [`parallel`] | zero-dependency multi-core layer: `Parallelism` config, scoped-thread `par_map`/`par_chunks`, `BORNDIST_THREADS` override |
 //! | [`shamir`] | polynomials, Lagrange (plain & in-the-exponent), Feldman / Pedersen / triple VSS |
 //! | [`net`] | the paper's communication model as a deterministic round simulator with fault injection and traffic metering |
 //! | [`dkg`] | Pedersen distributed key generation (§3.1) with complaints, disqualification, proactive refresh (§3.3) and share recovery |
@@ -30,4 +31,5 @@ pub use borndist_grothsahai as grothsahai;
 pub use borndist_lhsps as lhsps;
 pub use borndist_net as net;
 pub use borndist_pairing as pairing;
+pub use borndist_parallel as parallel;
 pub use borndist_shamir as shamir;
