@@ -15,7 +15,11 @@
 //! * [`proactive`] — §3.3 proactive epochs (refresh + share recovery);
 //! * [`batch`] — small-exponent randomized batch verification: `k`
 //!   signatures (or `k` signature shares during `Combine`) checked with
-//!   one shared multi-pairing instead of `4k` pairings (DESIGN.md §2).
+//!   one shared multi-pairing instead of `4k` pairings (DESIGN.md §2);
+//! * [`netsign`] — threshold signing as a network protocol: partial
+//!   signatures crossing a real transport as encoded frames, with
+//!   retransmission under lossy delivery policies (DESIGN.md §2 "Wire
+//!   format & transports").
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 pub mod aggregate;
 pub mod batch;
 pub mod dlin;
+pub mod netsign;
 pub mod proactive;
 pub mod ro;
 pub mod standard;
@@ -49,6 +54,7 @@ pub use dlin::{
     DlinKeyMaterial, DlinKeyShare, DlinPartialSignature, DlinPublicKey, DlinScheme, DlinSignature,
     DlinVerificationKey,
 };
+pub use netsign::{run_threshold_sign, SignMessage, SigningPlayer};
 pub use proactive::{ProactiveDeployment, ProactiveError};
 pub use ro::{
     CombineError, DistKeygenError, KeyMaterial, KeyShare, PartialSignature, PreparedPublicKey,

@@ -84,6 +84,22 @@ impl ProactiveDeployment {
         behaviors: &BTreeMap<u32, Behavior>,
         seed: u64,
     ) -> Result<Metrics, ProactiveError> {
+        self.advance_epoch_over(behaviors, seed, &borndist_net::TransportKind::Lockstep)
+    }
+
+    /// [`Self::advance_epoch`] over an explicit transport (refresh
+    /// messages are ordinary DKG frames; the complaint machinery absorbs
+    /// dropped private deliveries).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::advance_epoch`].
+    pub fn advance_epoch_over(
+        &mut self,
+        behaviors: &BTreeMap<u32, Behavior>,
+        seed: u64,
+        transport: &borndist_net::TransportKind,
+    ) -> Result<Metrics, ProactiveError> {
         let cfg = DkgConfig {
             params: self.material.params,
             bases: self.scheme.pedersen_bases(),
@@ -91,8 +107,8 @@ impl ProactiveDeployment {
             mode: SharingMode::Refresh,
             aggregate: None,
         };
-        let (outputs, metrics) =
-            refresh::run_refresh(&cfg, behaviors, seed).map_err(ProactiveError::Network)?;
+        let (outputs, metrics) = refresh::run_refresh_over(&cfg, behaviors, seed, transport)
+            .map_err(ProactiveError::Network)?;
         let reference = outputs
             .iter()
             .filter(|(id, _)| behaviors.get(id).is_none_or(Behavior::is_honest))

@@ -17,12 +17,13 @@
 //! Signing is non-interactive: a server needs only its 4-scalar share and
 //! the message. Shares are `O(1)` size regardless of `n` (experiment E4).
 
-use borndist_dkg::{run_dkg, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
+use borndist_dkg::{run_dkg_over, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
 use borndist_lhsps::{
     sign_derive, DpParams, OneTimePublicKey, OneTimeSecretKey, OneTimeSignature, PreparedDpParams,
     PreparedOneTimePublicKey,
 };
-use borndist_net::Metrics;
+use borndist_net::{Metrics, TransportKind};
+use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{hash_to_g1_vector, hash_to_g2, Fr, G1Projective, G2Affine};
 use borndist_shamir::{
     lagrange_coefficients_at_zero, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
@@ -130,6 +131,68 @@ pub struct PartialSignature {
 pub struct Signature {
     /// The signature pair.
     pub sig: OneTimeSignature,
+}
+
+impl Wire for PublicKey {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.coords[0].encode_to(out);
+        self.coords[1].encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(PublicKey {
+            coords: [G2Affine::decode(input)?, G2Affine::decode(input)?],
+        })
+    }
+}
+
+impl Wire for KeyShare {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.index.encode_to(out);
+        self.sk.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(KeyShare {
+            index: u32::decode(input)?,
+            sk: OneTimeSecretKey::decode(input)?,
+        })
+    }
+}
+
+impl Wire for VerificationKey {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.index.encode_to(out);
+        self.pk.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(VerificationKey {
+            index: u32::decode(input)?,
+            pk: OneTimePublicKey::decode(input)?,
+        })
+    }
+}
+
+impl Wire for PartialSignature {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.index.encode_to(out);
+        self.sig.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(PartialSignature {
+            index: u32::decode(input)?,
+            sig: OneTimeSignature::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Signature {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.sig.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Signature {
+            sig: OneTimeSignature::decode(input)?,
+        })
+    }
 }
 
 /// Everything produced by key generation.
@@ -262,6 +325,25 @@ impl ThresholdScheme {
         behaviors: &BTreeMap<u32, Behavior>,
         seed: u64,
     ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
+        self.dist_keygen_over(params, behaviors, seed, &TransportKind::Lockstep)
+    }
+
+    /// [`Self::dist_keygen`] over an explicit transport — e.g. a
+    /// [`borndist_net::ChannelTransport`] with a lossy
+    /// [`borndist_net::DeliveryPolicy`], where every DKG message crosses
+    /// a thread boundary as encoded bytes and dropped share deliveries
+    /// are absorbed by the complaint machinery.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::dist_keygen`].
+    pub fn dist_keygen_over(
+        &self,
+        params: ThresholdParams,
+        behaviors: &BTreeMap<u32, Behavior>,
+        seed: u64,
+        transport: &TransportKind,
+    ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
         let cfg = DkgConfig {
             params,
             bases: self.pedersen_bases(),
@@ -270,7 +352,7 @@ impl ThresholdScheme {
             aggregate: None,
         };
         let (outputs, metrics) =
-            run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
+            run_dkg_over(&cfg, behaviors, seed, transport).map_err(DistKeygenError::Network)?;
         let material = self.assemble(params, &outputs, behaviors)?;
         Ok((material, metrics))
     }

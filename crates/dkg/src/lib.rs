@@ -42,8 +42,10 @@ pub mod refresh;
 
 pub use messages::{AggregateWitness, DkgMessage};
 pub use player::{
-    run_dkg, standard_config, AggregateBases, Behavior, DkgAbort, DkgConfig, DkgOutput, DkgPlayer,
-    SharingMode, SimulatedRunResult,
+    dkg_players, run_dkg, run_dkg_over, standard_config, AggregateBases, Behavior, DkgAbort,
+    DkgConfig, DkgOutput, DkgPlayer, SharingMode, SimulatedRunResult,
 };
-pub use recovery::{recover_share, Helper, RecoveryError};
-pub use refresh::{apply_refresh, apply_refresh_commitments, run_refresh, RefreshOutput};
+pub use recovery::{recover_share, Helper, RecoveryError, RecoveryMessage};
+pub use refresh::{
+    apply_refresh, apply_refresh_commitments, run_refresh, run_refresh_over, RefreshOutput,
+};

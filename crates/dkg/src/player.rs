@@ -15,6 +15,15 @@
 //! equivocated broadcast, an invalid Appendix-G witness, or (in refresh
 //! mode) a sharing whose constant commitment is not the identity.
 //!
+//! The player is *decode-validate-then-process*: its inbox carries the
+//! per-frame result of the strict [`borndist_net::Wire`] decode. A
+//! broadcast frame that failed to decode is public misbehavior — every
+//! honest receiver sees the same bytes fail the same strict decoder —
+//! and globally disqualifies the sender; a malformed *private* frame is
+//! indistinguishable from a withheld share and flows into the ordinary
+//! complaint machinery. Malformed traffic can therefore never panic a
+//! player or split honest verdicts.
+//!
 //! Byzantine behaviors for testing are injected through [`Behavior`]
 //! hooks rather than separate state machines, so every adversary shares
 //! the honest message plumbing.
@@ -432,9 +441,32 @@ impl DkgPlayer {
         out
     }
 
+    /// A broadcast frame that fails the strict decode globally
+    /// disqualifies its sender: the broadcast channel is reliable, so
+    /// every honest player sees the identical malformed bytes and
+    /// reaches the identical verdict. Returns `true` if the frame was
+    /// consumed (so round handlers skip it).
+    fn note_malformed(&mut self, d: &Delivered<DkgMessage>) -> bool {
+        match &d.msg {
+            Ok(_) => false,
+            Err(_) => {
+                if d.broadcast {
+                    self.commitments.remove(&d.from);
+                    self.globally_bad.insert(d.from);
+                }
+                // A malformed private frame is equivalent to a missing
+                // one; the complaint path covers it.
+                true
+            }
+        }
+    }
+
     fn absorb_round0(&mut self, inbox: &[Delivered<DkgMessage>]) {
         for d in inbox {
-            match &d.msg {
+            if self.note_malformed(d) {
+                continue;
+            }
+            match d.msg.as_ref().expect("malformed frames filtered above") {
                 DkgMessage::Commitments {
                     commitments,
                     aggregate,
@@ -497,7 +529,10 @@ impl DkgPlayer {
 
     fn absorb_complaints(&mut self, inbox: &[Delivered<DkgMessage>]) {
         for d in inbox {
-            if let DkgMessage::Complaints { against } = &d.msg {
+            if self.note_malformed(d) {
+                continue;
+            }
+            if let Ok(DkgMessage::Complaints { against }) = &d.msg {
                 if !d.broadcast {
                     continue;
                 }
@@ -532,7 +567,10 @@ impl DkgPlayer {
 
     fn absorb_answers(&mut self, inbox: &[Delivered<DkgMessage>]) {
         for d in inbox {
-            if let DkgMessage::ComplaintAnswers { answers } = &d.msg {
+            if self.note_malformed(d) {
+                continue;
+            }
+            if let Ok(DkgMessage::ComplaintAnswers { answers }) = &d.msg {
                 if !d.broadcast {
                     continue;
                 }
@@ -714,7 +752,23 @@ pub type SimulatedRunResult = Result<
     borndist_net::SimError,
 >;
 
-/// Convenience driver: runs a full DKG over the simulated network.
+/// Builds the boxed player set of one DKG run (honest players plus the
+/// configured fault hooks), ready for any transport.
+pub fn dkg_players(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+) -> Vec<borndist_net::BoxedPlayer<DkgMessage, Result<DkgOutput, DkgAbort>>> {
+    (1..=cfg.params.n as PlayerId)
+        .map(|id| {
+            let behavior = behaviors.get(&id).cloned().unwrap_or_default();
+            Box::new(DkgPlayer::new(id, cfg.clone(), behavior, seed)) as _
+        })
+        .collect()
+}
+
+/// Convenience driver: runs a full DKG over the lockstep transport (the
+/// paper's idealized network).
 ///
 /// `behaviors` maps player ids to fault hooks; unlisted players are
 /// honest. Returns per-player outputs plus network metrics.
@@ -723,17 +777,24 @@ pub fn run_dkg(
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
 ) -> SimulatedRunResult {
-    let players: Vec<
-        Box<dyn Protocol<Message = DkgMessage, Output = Result<DkgOutput, DkgAbort>>>,
-    > = (1..=cfg.params.n as PlayerId)
-        .map(|id| {
-            let behavior = behaviors.get(&id).cloned().unwrap_or_default();
-            Box::new(DkgPlayer::new(id, cfg.clone(), behavior, seed)) as _
-        })
-        .collect();
-    let mut sim = borndist_net::Simulator::new(players)?;
-    let outputs = sim.run(8)?;
-    Ok((outputs, sim.metrics().clone()))
+    run_dkg_over(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
+}
+
+/// [`run_dkg`] over an explicit transport — e.g.
+/// [`borndist_net::TransportKind::Channel`] with a lossy
+/// [`borndist_net::DeliveryPolicy`] for unreliable-network scenarios.
+/// Byte metrics are transport-independent for the same seed (the frames
+/// are identical); the round budget is sized so that the complaint
+/// machinery can absorb dropped share deliveries.
+pub fn run_dkg_over(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+    transport: &borndist_net::TransportKind,
+) -> SimulatedRunResult {
+    let players = dkg_players(cfg, behaviors, seed);
+    let (outputs, metrics) = borndist_net::run_protocol(transport, players, 8)?;
+    Ok((outputs, metrics))
 }
 
 /// Derives the standard DKG generators and aggregate bases from a

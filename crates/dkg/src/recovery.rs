@@ -16,17 +16,87 @@
 //!    there, yielding exactly `(A(r), B(r))`, which `r` validates against
 //!    the public combined commitment.
 //!
-//! The implementation below runs the three steps in-process (the message
-//! pattern is two rounds of private channels; we account for it in the
-//! caller's metrics if needed) and enforces both verifiability checks.
+//! The implementation below runs the three steps in-process, but every
+//! cross-player value travels as a [`RecoveryMessage`] **frame**: the
+//! commitment broadcasts, mask sub-shares and masked points are encoded
+//! with the canonical [`Wire`] codec and strictly decoded by their
+//! receiver before any use (decode-validate-then-process, like the DKG
+//! player). A helper whose bytes fail to decode is reported as
+//! [`RecoveryError::Malformed`] — recovery picks a different helper set,
+//! it never panics.
 
-use borndist_net::PlayerId;
+use borndist_net::{decode_frame, encode_frame, CodecError, PlayerId};
+use borndist_pairing::codec::Wire;
 use borndist_pairing::Fr;
 use borndist_shamir::{
     interpolate_at, LagrangeError, PedersenBases, PedersenCommitment, PedersenShare,
     PedersenSharing, Polynomial,
 };
 use rand::RngCore;
+
+/// A wire message of the recovery sub-protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryMessage {
+    /// Step 1 broadcast: a helper's commitment to its masking pair.
+    MaskCommitment {
+        /// Pedersen commitment to `(D_j, E_j)`.
+        commitment: PedersenCommitment,
+    },
+    /// Step 1 private message: a helper's mask sub-share for another
+    /// helper, `(D_j(i), E_j(i))` packed as a Pedersen share at index `i`.
+    MaskShare {
+        /// The sub-share.
+        share: PedersenShare,
+    },
+    /// Step 2 private message to the recovering player: one helper's
+    /// masked evaluation `u_i`.
+    MaskedPoint {
+        /// `A(i) + Σ_j D_j(i)`.
+        a: Fr,
+        /// `B(i) + Σ_j E_j(i)`.
+        b: Fr,
+    },
+}
+
+const TAG_MASK_COMMITMENT: u8 = 0;
+const TAG_MASK_SHARE: u8 = 1;
+const TAG_MASKED_POINT: u8 = 2;
+
+impl Wire for RecoveryMessage {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            RecoveryMessage::MaskCommitment { commitment } => {
+                out.push(TAG_MASK_COMMITMENT);
+                commitment.encode_to(out);
+            }
+            RecoveryMessage::MaskShare { share } => {
+                out.push(TAG_MASK_SHARE);
+                share.encode_to(out);
+            }
+            RecoveryMessage::MaskedPoint { a, b } => {
+                out.push(TAG_MASKED_POINT);
+                a.encode_to(out);
+                b.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            TAG_MASK_COMMITMENT => Ok(RecoveryMessage::MaskCommitment {
+                commitment: PedersenCommitment::decode(input)?,
+            }),
+            TAG_MASK_SHARE => Ok(RecoveryMessage::MaskShare {
+                share: PedersenShare::decode(input)?,
+            }),
+            TAG_MASKED_POINT => Ok(RecoveryMessage::MaskedPoint {
+                a: Fr::decode(input)?,
+                b: Fr::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
 
 /// Errors of the recovery protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +113,13 @@ pub enum RecoveryError {
         /// The offending helper.
         helper: PlayerId,
     },
+    /// A helper's frame failed the strict wire decode.
+    Malformed {
+        /// The offending helper.
+        helper: PlayerId,
+        /// The decode failure.
+        error: CodecError,
+    },
     /// The recovered share does not match the public commitment — some
     /// helper contributed garbage.
     CommitmentMismatch,
@@ -58,6 +135,9 @@ impl core::fmt::Display for RecoveryError {
             }
             RecoveryError::MaskNotVanishing { helper } => {
                 write!(f, "helper {}'s mask does not vanish at the target", helper)
+            }
+            RecoveryError::Malformed { helper, error } => {
+                write!(f, "helper {}'s frame failed to decode: {}", helper, error)
             }
             RecoveryError::CommitmentMismatch => {
                 f.write_str("recovered share fails the public commitment check")
@@ -78,10 +158,25 @@ pub struct Helper {
     pub share: (Fr, Fr),
 }
 
-/// A helper's first-round broadcast: commitment to its masking pair.
+/// A helper's first-round state: its mask polynomials plus the broadcast
+/// frame carrying the commitment.
 struct MaskDeal {
     helper: PlayerId,
     sharing: PedersenSharing,
+    commitment_frame: Vec<u8>,
+}
+
+/// Sends `msg` across the byte boundary as `helper`, strictly decoding
+/// it on the receiving side.
+fn over_the_wire(
+    helper: PlayerId,
+    msg: &RecoveryMessage,
+) -> Result<RecoveryMessage, RecoveryError> {
+    decode_wire(helper, &encode_frame(msg))
+}
+
+fn decode_wire(helper: PlayerId, frame: &[u8]) -> Result<RecoveryMessage, RecoveryError> {
+    decode_frame(frame).map_err(|error| RecoveryError::Malformed { helper, error })
 }
 
 /// Recovers player `target`'s share `(A(target), B(target))` of a single
@@ -112,63 +207,85 @@ pub fn recover_share<R: RngCore + ?Sized>(
     let target_x = Fr::from_u64(target as u64);
 
     // Step 1: each helper deals masking polynomials vanishing at target,
-    // with a public Pedersen commitment.
+    // broadcasting a Pedersen commitment frame.
     let deals: Vec<MaskDeal> = helpers
         .iter()
         .map(|h| {
             let d = Polynomial::random_vanishing_at(target_x, t, rng);
             let e = Polynomial::random_vanishing_at(target_x, t, rng);
+            let sharing = PedersenSharing::from_polynomials(bases, d, e);
+            let commitment_frame = encode_frame(&RecoveryMessage::MaskCommitment {
+                commitment: sharing.commitment.clone(),
+            });
             MaskDeal {
                 helper: h.id,
-                sharing: PedersenSharing::from_polynomials(bases, d, e),
+                sharing,
+                commitment_frame,
             }
         })
         .collect();
 
-    // Everyone checks the vanishing property in the exponent:
-    // evaluating the mask commitment at `target` must give the identity.
+    // Everyone decodes the broadcast frames and checks the vanishing
+    // property in the exponent: evaluating the mask commitment at
+    // `target` must give the identity.
     for deal in &deals {
-        if !deal
-            .sharing
-            .commitment
-            .evaluate_at_index(target)
-            .is_identity()
-        {
+        let commitment = match decode_wire(deal.helper, &deal.commitment_frame)? {
+            RecoveryMessage::MaskCommitment { commitment } => commitment,
+            _ => unreachable!("MaskCommitment frames decode to MaskCommitment"),
+        };
+        if !commitment.evaluate_at_index(target).is_identity() {
             return Err(RecoveryError::MaskNotVanishing {
                 helper: deal.helper,
             });
         }
-        // And each helper verifies the sub-shares it received (equation
-        // (1) of the VSS); dealt honestly here, asserted for completeness.
+        // And each helper verifies the sub-shares it received over its
+        // private channel (equation (1) of the VSS); dealt honestly
+        // here, asserted for completeness on the decoded bytes.
         for h in helpers.iter() {
-            debug_assert!(deal
-                .sharing
-                .commitment
-                .verify_share(bases, &deal.sharing.share_for(h.id)));
+            debug_assert!({
+                let msg = over_the_wire(
+                    deal.helper,
+                    &RecoveryMessage::MaskShare {
+                        share: deal.sharing.share_for(h.id),
+                    },
+                )
+                .expect("honest mask sub-share frame decodes");
+                match msg {
+                    RecoveryMessage::MaskShare { share } => commitment.verify_share(bases, &share),
+                    _ => false,
+                }
+            });
         }
     }
 
-    // Step 2: helpers send masked share points to the recovering player.
-    let masked_points: Vec<(u32, Fr)> = helpers
-        .iter()
-        .map(|h| {
-            let mask_a: Fr = deals
-                .iter()
-                .map(|d| d.sharing.poly_a.evaluate_at_index(h.id))
-                .fold(Fr::zero(), |acc, v| acc + v);
-            (h.id, h.share.0 + mask_a)
-        })
-        .collect();
-    let masked_points_b: Vec<(u32, Fr)> = helpers
-        .iter()
-        .map(|h| {
-            let mask_b: Fr = deals
-                .iter()
-                .map(|d| d.sharing.poly_b.evaluate_at_index(h.id))
-                .fold(Fr::zero(), |acc, v| acc + v);
-            (h.id, h.share.1 + mask_b)
-        })
-        .collect();
+    // Step 2: helpers send masked points to the recovering player — one
+    // MaskedPoint frame each, strictly decoded before interpolation.
+    let mut masked_points: Vec<(u32, Fr)> = Vec::with_capacity(helpers.len());
+    let mut masked_points_b: Vec<(u32, Fr)> = Vec::with_capacity(helpers.len());
+    for h in helpers.iter() {
+        let mask_a: Fr = deals
+            .iter()
+            .map(|d| d.sharing.poly_a.evaluate_at_index(h.id))
+            .fold(Fr::zero(), |acc, v| acc + v);
+        let mask_b: Fr = deals
+            .iter()
+            .map(|d| d.sharing.poly_b.evaluate_at_index(h.id))
+            .fold(Fr::zero(), |acc, v| acc + v);
+        let msg = over_the_wire(
+            h.id,
+            &RecoveryMessage::MaskedPoint {
+                a: h.share.0 + mask_a,
+                b: h.share.1 + mask_b,
+            },
+        )?;
+        match msg {
+            RecoveryMessage::MaskedPoint { a, b } => {
+                masked_points.push((h.id, a));
+                masked_points_b.push((h.id, b));
+            }
+            _ => unreachable!("MaskedPoint frames decode to MaskedPoint"),
+        }
+    }
 
     // Step 3: interpolate the masked polynomial at the target index; the
     // masks vanish there.
@@ -185,4 +302,59 @@ pub fn recover_share<R: RngCore + ?Sized>(
         return Err(RecoveryError::CommitmentMismatch);
     }
     Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovery_messages_roundtrip() {
+        let mut r = StdRng::seed_from_u64(0x4ec0);
+        let bases = PedersenBases {
+            g_z: borndist_pairing::G2Projective::random(&mut r).to_affine(),
+            g_r: borndist_pairing::G2Projective::random(&mut r).to_affine(),
+        };
+        let sharing = PedersenSharing::deal_random(&bases, 2, &mut r);
+        let msgs = [
+            RecoveryMessage::MaskCommitment {
+                commitment: sharing.commitment.clone(),
+            },
+            RecoveryMessage::MaskShare {
+                share: sharing.share_for(3),
+            },
+            RecoveryMessage::MaskedPoint {
+                a: Fr::random(&mut r),
+                b: Fr::random(&mut r),
+            },
+        ];
+        for msg in &msgs {
+            let enc = msg.encode();
+            assert_eq!(&RecoveryMessage::decode_exact(&enc).unwrap(), msg);
+            // Strictness: a trailing byte is rejected.
+            let mut bad = enc.clone();
+            bad.push(0);
+            assert!(RecoveryMessage::decode_exact(&bad).is_err());
+        }
+        assert_eq!(
+            RecoveryMessage::decode_exact(&[9]),
+            Err(CodecError::InvalidTag(9))
+        );
+    }
+
+    #[test]
+    fn tampered_recovery_frame_is_reported_not_panicked() {
+        let helper = 4;
+        let mut frame = encode_frame(&RecoveryMessage::MaskedPoint {
+            a: Fr::one(),
+            b: Fr::zero(),
+        });
+        frame.pop();
+        match decode_wire(helper, &frame) {
+            Err(RecoveryError::Malformed { helper: h, .. }) => assert_eq!(h, helper),
+            other => panic!("expected Malformed, got {:?}", other),
+        }
+    }
 }

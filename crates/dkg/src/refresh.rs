@@ -7,7 +7,7 @@
 //! public key — is unchanged, while any set of ≤ t shares from *different
 //! periods* becomes useless to a mobile adversary.
 
-use crate::player::{run_dkg, Behavior, DkgConfig, DkgOutput, SharingMode, SimulatedRunResult};
+use crate::player::{Behavior, DkgConfig, DkgOutput, SharingMode, SimulatedRunResult};
 use borndist_net::PlayerId;
 use borndist_pairing::Fr;
 use borndist_shamir::PedersenCommitment;
@@ -49,7 +49,7 @@ pub fn apply_refresh_commitments(
         .collect()
 }
 
-/// Runs one refresh period over the simulated network.
+/// Runs one refresh period over the lockstep transport.
 ///
 /// `cfg` must describe the *original* DKG (same width, bases, params);
 /// its mode is overridden to [`SharingMode::Refresh`].
@@ -58,10 +58,22 @@ pub fn run_refresh(
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
 ) -> SimulatedRunResult {
+    run_refresh_over(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
+}
+
+/// [`run_refresh`] over an explicit transport (refresh messages are
+/// ordinary [`crate::DkgMessage`] frames, so everything said about
+/// [`crate::run_dkg_over`] applies).
+pub fn run_refresh_over(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+    transport: &borndist_net::TransportKind,
+) -> SimulatedRunResult {
     let mut refresh_cfg = cfg.clone();
     refresh_cfg.mode = SharingMode::Refresh;
     // The Appendix G witness commits to the *key* constants, which are all
     // zero during refresh; skip it.
     refresh_cfg.aggregate = None;
-    run_dkg(&refresh_cfg, behaviors, seed)
+    crate::player::run_dkg_over(&refresh_cfg, behaviors, seed, transport)
 }

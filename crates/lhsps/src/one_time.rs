@@ -15,6 +15,7 @@
 //!    reductions.
 
 use crate::params::{DpParams, PreparedDpParams};
+use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{
     msm, multi_pairing, multi_pairing_mixed, Fr, G1Affine, G1Projective, G2Affine, G2Prepared,
     G2Projective,
@@ -195,6 +196,43 @@ impl OneTimePublicKey {
             g_hat: self.g_hat.iter().map(G2Prepared::new).collect(),
             key: self.clone(),
         }
+    }
+}
+
+impl Wire for OneTimeSignature {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.z.encode_to(out);
+        self.r.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(OneTimeSignature {
+            z: G1Affine::decode(input)?,
+            r: G1Affine::decode(input)?,
+        })
+    }
+}
+
+impl Wire for OneTimePublicKey {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.g_hat.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(OneTimePublicKey {
+            g_hat: Vec::decode(input)?,
+        })
+    }
+}
+
+impl Wire for OneTimeSecretKey {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.chi.encode_to(out);
+        self.gamma.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(OneTimeSecretKey {
+            chi: Vec::decode(input)?,
+            gamma: Vec::decode(input)?,
+        })
     }
 }
 

@@ -1,0 +1,212 @@
+//! The channel transport: every player on its own OS thread, frames
+//! crossing real `mpsc` channels, faults injected by a
+//! [`DeliveryPolicy`].
+//!
+//! Per round, the router thread hands each live player its inbox of raw
+//! frames over a channel; the player thread decodes and validates them
+//! (in parallel across players — decoding compressed points is real
+//! work), advances its state machine, encodes its outgoing messages and
+//! sends the frames back. The router meters them, applies the policy
+//! (drops, duplicates, reorder, partitions, outages, tampering) and
+//! builds the next round's inboxes.
+//!
+//! Rounds are still barriers — the paper's protocols are round-based —
+//! but *within* a round all players compute concurrently, and nothing
+//! but bytes ever crosses a player boundary. Worker threads pin the
+//! [`borndist_parallel`] setting to `Sequential` while a player runs, so
+//! the pairing crate's own parallel primitives never oversubscribe the
+//! machine (the same discipline `par_map` workers use).
+
+use crate::frame::{decode_frame, encode_frame};
+use crate::policy::DeliveryPolicy;
+use crate::router::{FrameSend, RawDelivered, Router};
+use crate::{BoxedPlayer, Delivered, Metrics, PlayerId, Recipient, RoundAction, SimError};
+use borndist_parallel::{with_parallelism, Parallelism};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One player's outgoing frames for a round, in send order.
+type Sends = Vec<(Recipient, Vec<u8>)>;
+
+/// One player thread's answer for one round.
+enum Reply<O> {
+    Continue(PlayerId, Sends),
+    Finished(PlayerId, O),
+    /// The player's `round` panicked; the worker re-raises after sending
+    /// this, and the router panics too so the scope propagates instead of
+    /// deadlocking on a reply that will never come.
+    Panicked(PlayerId),
+}
+
+/// Drives [`crate::Protocol`] state machines on one thread per player,
+/// with transport faults injected between rounds.
+pub struct ChannelTransport<M, O> {
+    players: Vec<BoxedPlayer<M, O>>,
+    policy: DeliveryPolicy,
+    metrics: Metrics,
+}
+
+impl<M, O> ChannelTransport<M, O>
+where
+    M: borndist_pairing::Wire,
+    O: Send,
+{
+    /// Creates a transport over the given players and fault policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if two players share an id.
+    pub fn new(players: Vec<BoxedPlayer<M, O>>, policy: DeliveryPolicy) -> Result<Self, SimError> {
+        crate::check_unique_ids(&players)?;
+        Ok(ChannelTransport {
+            players,
+            policy,
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Runs until every player finishes or `max_rounds` is hit.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::LockstepTransport::run`]. Under a lossy
+    /// policy, protocols without retransmission may legitimately exhaust
+    /// the round budget — the error names who was still waiting.
+    pub fn run(&mut self, max_rounds: usize) -> Result<BTreeMap<PlayerId, O>, SimError> {
+        let players = std::mem::take(&mut self.players);
+        let ids: Vec<PlayerId> = players.iter().map(|p| p.id()).collect();
+        // Registration order decides metering order, matching the
+        // lockstep transport's player iteration exactly (byte-parity).
+        let position: BTreeMap<PlayerId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut router = Router::new(ids.clone(), self.policy.clone());
+
+        let result = std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply<O>>();
+            let mut inbox_txs: BTreeMap<PlayerId, mpsc::Sender<(usize, Vec<RawDelivered>)>> =
+                BTreeMap::new();
+
+            for mut player in players {
+                let pid = player.id();
+                let tx = reply_tx.clone();
+                let (inbox_tx, inbox_rx) = mpsc::channel::<(usize, Vec<RawDelivered>)>();
+                inbox_txs.insert(pid, inbox_tx);
+                scope.spawn(move || {
+                    while let Ok((round, raw_inbox)) = inbox_rx.recv() {
+                        let inbox: Vec<Delivered<M>> = raw_inbox
+                            .into_iter()
+                            .map(|raw| Delivered {
+                                from: raw.from,
+                                broadcast: raw.broadcast,
+                                msg: decode_frame(&raw.frame),
+                            })
+                            .collect();
+                        let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            with_parallelism(Parallelism::Sequential, || {
+                                player.round(round, &inbox)
+                            })
+                        }));
+                        let action = match action {
+                            Ok(action) => action,
+                            Err(payload) => {
+                                let _ = tx.send(Reply::Panicked(pid));
+                                std::panic::resume_unwind(payload);
+                            }
+                        };
+                        let reply = match action {
+                            RoundAction::Finish(out) => Reply::Finished(pid, out),
+                            RoundAction::Continue(outgoing) => Reply::Continue(
+                                pid,
+                                outgoing
+                                    .into_iter()
+                                    .map(|out| (out.to, encode_frame(&out.msg)))
+                                    .collect(),
+                            ),
+                        };
+                        let done = matches!(reply, Reply::Finished(..));
+                        if tx.send(reply).is_err() || done {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let mut inboxes: BTreeMap<PlayerId, Vec<RawDelivered>> = BTreeMap::new();
+            let mut outputs: BTreeMap<PlayerId, O> = BTreeMap::new();
+            let mut finished: HashSet<PlayerId> = HashSet::new();
+            let run_start = Instant::now();
+
+            for round in 0..max_rounds {
+                let round_start = Instant::now();
+                // Dispatch inboxes to every live player...
+                let mut live = 0usize;
+                for id in &ids {
+                    if finished.contains(id) {
+                        continue;
+                    }
+                    live += 1;
+                    let inbox = inboxes.remove(id).unwrap_or_default();
+                    // A send can only fail if the player thread panicked;
+                    // the scope will propagate that panic at join.
+                    let _ = inbox_txs[id].send((round, inbox));
+                }
+                // ...collect exactly one reply from each.
+                let mut replies: Vec<(usize, PlayerId, Sends)> = Vec::new();
+                for _ in 0..live {
+                    match reply_rx.recv() {
+                        Ok(Reply::Finished(pid, out)) => {
+                            outputs.insert(pid, out);
+                            finished.insert(pid);
+                            inbox_txs.remove(&pid);
+                        }
+                        Ok(Reply::Continue(pid, sends)) => {
+                            replies.push((position[&pid], pid, sends));
+                        }
+                        Ok(Reply::Panicked(pid)) => {
+                            panic!("player {} panicked mid-round", pid)
+                        }
+                        // A worker died without replying (panic): leave
+                        // the scope so the panic surfaces at join.
+                        Err(_) => panic!("player thread terminated mid-round"),
+                    }
+                }
+                replies.sort_by_key(|(pos, _, _)| *pos);
+                let sends: Vec<FrameSend> = replies
+                    .into_iter()
+                    .flat_map(|(_, pid, sends)| {
+                        sends.into_iter().map(move |(to, frame)| FrameSend {
+                            from: pid,
+                            to,
+                            frame,
+                        })
+                    })
+                    .collect();
+
+                inboxes = router.route(round, sends, &finished)?;
+                router.finish_round(round_start, run_start);
+
+                if finished.len() == ids.len() {
+                    return Ok(outputs);
+                }
+            }
+            Err(SimError::RoundLimitExceeded {
+                limit: max_rounds,
+                unfinished: ids
+                    .iter()
+                    .copied()
+                    .filter(|id| !finished.contains(id))
+                    .collect(),
+            })
+        });
+
+        self.metrics = router.metrics;
+        result
+    }
+
+    /// Traffic statistics of the completed (or aborted) run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}

@@ -1,0 +1,85 @@
+//! Wire frames: the byte strings that actually cross a transport.
+//!
+//! Every message is shipped as a *frame*:
+//!
+//! ```text
+//!     +----------------+---------------------------------------+
+//!     | version (1 B)  | canonical message encoding ([`Wire`]) |
+//!     +----------------+---------------------------------------+
+//! ```
+//!
+//! The version byte is the whole negotiation story: a receiver that sees
+//! an unknown version rejects the frame ([`CodecError::UnsupportedVersion`])
+//! instead of guessing at the layout. The payload is decoded *strictly* —
+//! trailing bytes, unknown tags, non-canonical scalars and invalid points
+//! all fail — so two honest receivers can never disagree about whether a
+//! frame is well-formed (the property the DKG's public disqualification
+//! logic relies on).
+
+use borndist_pairing::codec::{CodecError, Wire};
+
+/// Current wire-format version, the first byte of every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Encodes a message into a versioned frame.
+pub fn encode_frame<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.encoded_len());
+    out.push(WIRE_VERSION);
+    msg.encode_to(&mut out);
+    out
+}
+
+/// Decodes a versioned frame, strictly.
+///
+/// # Errors
+///
+/// [`CodecError::UnexpectedEnd`] on an empty frame,
+/// [`CodecError::UnsupportedVersion`] on a version byte other than
+/// [`WIRE_VERSION`], and any payload [`CodecError`] (including
+/// `TrailingBytes`) from the strict message decode.
+pub fn decode_frame<M: Wire>(frame: &[u8]) -> Result<M, CodecError> {
+    let (&version, payload) = frame.split_first().ok_or(CodecError::UnexpectedEnd)?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    M::decode_exact(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(&(7u32, vec![1u64, 2]));
+        assert_eq!(frame[0], WIRE_VERSION);
+        assert_eq!(frame.len(), 1 + 4 + 4 + 16);
+        let back: (u32, Vec<u64>) = decode_frame(&frame).unwrap();
+        assert_eq!(back, (7, vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        assert_eq!(decode_frame::<u32>(&[]), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut frame = encode_frame(&5u32);
+        frame[0] = 0x7f;
+        assert_eq!(
+            decode_frame::<u32>(&frame),
+            Err(CodecError::UnsupportedVersion(0x7f))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_frame(&5u32);
+        frame.push(0);
+        assert_eq!(
+            decode_frame::<u32>(&frame),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+}

@@ -1,0 +1,395 @@
+//! Canonical binary wire codec — the byte layer every cross-player
+//! message of the workspace goes through (DESIGN.md "Wire format &
+//! transports").
+//!
+//! The encoding is *canonical and strict*: every value has exactly one
+//! byte representation, and [`Wire::decode`] rejects anything else —
+//! non-canonical field elements, off-curve or out-of-subgroup points
+//! (via the compressed 48/96-byte point encodings of the curve module),
+//! unknown enum tags, and (through [`Wire::decode_exact`]) trailing
+//! bytes. Strictness is a protocol property, not a nicety: the DKG
+//! treats a frame that fails to decode as dealer misbehavior, and that
+//! verdict must be identical at every honest receiver, which it can only
+//! be if `decode(encode(x)) = x` and nothing else ever decodes.
+//!
+//! Layout rules (all integers big-endian):
+//!
+//! | type | encoding |
+//! |---|---|
+//! | `u8`/`u32`/`u64` | fixed-width big-endian |
+//! | `Fr` | 32 canonical bytes (reject `≥ r`) |
+//! | `G1Affine` | 48-byte compressed point (curve + subgroup checked) |
+//! | `G2Affine` | 96-byte compressed point (curve + subgroup checked) |
+//! | `Vec<T>` | `u32` length, then the elements |
+//! | `Option<T>` | tag byte `0`/`1`, then the value if present |
+//! | `(A, B)` | `A` then `B` |
+//! | enums | 1-byte variant tag, then the fields |
+//!
+//! The trait lives here (the bottom crate) so that `shamir`, `lhsps`,
+//! `dkg` and `core` can implement it for their own types without
+//! violating the orphan rule; `borndist_net` re-exports it and derives
+//! all byte metering from it.
+
+use crate::curve::{Affine, CurveParams, DecodePointError};
+use crate::fr::Fr;
+
+/// Why a byte string failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// Bytes remained after a complete value (strict decoding).
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// An enum/option/bool tag byte had no defined meaning.
+    InvalidTag(u8),
+    /// A scalar was not in canonical reduced form.
+    NonCanonicalScalar,
+    /// A group element failed point validation.
+    InvalidPoint(DecodePointError),
+    /// A declared collection length exceeds the remaining input (also
+    /// the overflow guard against adversarial length prefixes).
+    BadLength {
+        /// The declared element count.
+        declared: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A frame carried an unknown wire-format version byte.
+    UnsupportedVersion(u8),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => f.write_str("input ended mid-value"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{} trailing bytes after a complete value", remaining)
+            }
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {:#04x}", t),
+            CodecError::NonCanonicalScalar => f.write_str("non-canonical scalar encoding"),
+            CodecError::InvalidPoint(e) => write!(f, "invalid point encoding: {}", e),
+            CodecError::BadLength {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {} exceeds {} remaining bytes",
+                declared, remaining
+            ),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire-format version {:#04x}", v)
+            }
+        }
+    }
+}
+impl std::error::Error for CodecError {}
+
+impl From<DecodePointError> for CodecError {
+    fn from(e: DecodePointError) -> Self {
+        CodecError::InvalidPoint(e)
+    }
+}
+
+/// Canonical binary encoding of a wire value.
+///
+/// Implementations must be strict inverses: `decode` accepts exactly the
+/// byte strings `encode_to` produces, consuming precisely the encoded
+/// prefix of the input and rejecting everything else.
+pub trait Wire: Sized {
+    /// A lower bound on the encoded size of any value of this type, in
+    /// bytes. Used by the `Vec<T>` decoder to reject adversarial length
+    /// prefixes *before* allocating. The default of 1 is correct for
+    /// every type with a non-empty encoding; types encoding to zero
+    /// bytes (like `()`) must override it to 0 or their `Vec` encodings
+    /// would fail to round-trip.
+    const MIN_ENCODED_LEN: usize = 1;
+
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode_to(&self, out: &mut Vec<u8>);
+
+    /// Reads one value from the front of `input`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] other than `TrailingBytes` (unread suffixes are
+    /// the caller's concern; see [`Wire::decode_exact`]).
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// The canonical encoding as a fresh byte vector.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_to(&mut out);
+        out
+    }
+
+    /// Strict whole-buffer decode: rejects trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`], including `TrailingBytes`.
+    fn decode_exact(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut input = bytes;
+        let value = Self::decode(&mut input)?;
+        if !input.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: input.len(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Exact encoded length in bytes.
+    ///
+    /// Deliberately *not* overridable with a closed-form estimate: it is
+    /// defined as the length of the real encoding, so size accounting
+    /// (the `E5` byte metrics) can never drift from what actually goes on
+    /// the wire.
+    fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Pulls `n` bytes off the front of `input`.
+pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Wire for () {
+    const MIN_ENCODED_LEN: usize = 0;
+    fn encode_to(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(take(input, 1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(u32::from_be_bytes(take(input, 4)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u64 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(u64::from_be_bytes(take(input, 8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for Fr {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes: [u8; 32] = take(input, 32)?.try_into().unwrap();
+        Fr::from_bytes(&bytes).ok_or(CodecError::NonCanonicalScalar)
+    }
+}
+
+impl<C: CurveParams> Wire for Affine<C> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&C::affine_to_bytes(self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = take(input, C::COMPRESSED_SIZE)?;
+        Ok(C::affine_from_bytes(bytes)?)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        for item in self {
+            item.encode_to(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let declared = u32::decode(input)? as usize;
+        // A declared count whose minimum encoding exceeds the remaining
+        // input is malformed — checked *before* allocating, so an
+        // adversarial 4 GiB length prefix costs nothing. (For zero-size
+        // elements the bound is vacuous, but so is the allocation: a
+        // `Vec` of zero-sized values never touches the heap.)
+        if declared.saturating_mul(T::MIN_ENCODED_LEN) > input.len() {
+            return Err(CodecError::BadLength {
+                declared,
+                remaining: input.len(),
+            });
+        }
+        let mut items = Vec::with_capacity(declared);
+        for _ in 0..declared {
+            items.push(T::decode(input)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_to(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{G1Affine, G1Projective, G2Affine, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc0dec)
+    }
+
+    fn roundtrip<T: Wire + PartialEq + core::fmt::Debug>(v: &T) {
+        let enc = v.encode();
+        assert_eq!(enc.len(), v.encoded_len());
+        assert_eq!(&T::decode_exact(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&0u8);
+        roundtrip(&0xdeadbeefu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&());
+        roundtrip(&Some(7u32));
+        roundtrip(&None::<u32>);
+        roundtrip(&(3u32, vec![1u64, 2, 3]));
+        // Zero-size elements: the length guard must not reject the
+        // vector's own (length-prefix-only) encoding.
+        roundtrip(&vec![(), (), ()]);
+        roundtrip(&Vec::<()>::new());
+    }
+
+    #[test]
+    fn group_and_scalar_roundtrips() {
+        let mut r = rng();
+        for _ in 0..4 {
+            roundtrip(&Fr::random(&mut r));
+            roundtrip(&G1Projective::random(&mut r).to_affine());
+            roundtrip(&G2Projective::random(&mut r).to_affine());
+        }
+        roundtrip(&Fr::zero());
+        roundtrip(&G1Affine::identity());
+        roundtrip(&G2Affine::identity());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = 5u32.encode();
+        enc.push(0);
+        assert_eq!(
+            u32::decode_exact(&enc),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut r = rng();
+        let p = G1Projective::random(&mut r).to_affine();
+        let enc = p.encode();
+        assert_eq!(
+            G1Affine::decode_exact(&enc[..47]),
+            Err(CodecError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn non_canonical_scalar_rejected() {
+        // r itself (the modulus) is the smallest non-canonical encoding.
+        let modulus: [u8; 32] = [
+            0x73, 0xed, 0xa7, 0x53, 0x29, 0x9d, 0x7d, 0x48, 0x33, 0x39, 0xd8, 0x08, 0x09, 0xa1,
+            0xd8, 0x05, 0x53, 0xbd, 0xa4, 0x02, 0xff, 0xfe, 0x5b, 0xfe, 0xff, 0xff, 0xff, 0xff,
+            0x00, 0x00, 0x00, 0x01,
+        ];
+        assert_eq!(
+            Fr::decode_exact(&modulus),
+            Err(CodecError::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn invalid_points_rejected() {
+        // All-zero bytes: compressed flag missing.
+        let zeros = [0u8; 48];
+        assert!(matches!(
+            G1Affine::decode_exact(&zeros),
+            Err(CodecError::InvalidPoint(_))
+        ));
+        // Valid encoding with a flipped sign bit still decodes (the
+        // negated point), but flipped x bits generally fail.
+        let mut r = rng();
+        let enc = G2Projective::random(&mut r).to_affine().encode();
+        let mut bad = enc.clone();
+        bad[95] ^= 1;
+        assert!(matches!(
+            G2Affine::decode_exact(&bad),
+            Err(CodecError::InvalidPoint(_))
+        ));
+    }
+
+    #[test]
+    fn adversarial_length_prefix_rejected() {
+        // Declared length far beyond the buffer must fail fast.
+        let enc = u32::MAX.encode();
+        assert!(matches!(
+            Vec::<Fr>::decode_exact(&enc),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn option_tag_strict() {
+        assert_eq!(
+            Option::<u32>::decode_exact(&[2, 0, 0, 0, 7]),
+            Err(CodecError::InvalidTag(2))
+        );
+    }
+}

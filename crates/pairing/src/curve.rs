@@ -671,7 +671,7 @@ impl G1Affine {
             y,
             infinity: false,
         };
-        if !point.to_projective().is_torsion_free() {
+        if !crate::endo::g1_in_subgroup(&point) {
             return Err(DecodePointError::NotInSubgroup);
         }
         Ok(point)
@@ -709,7 +709,7 @@ impl G1Affine {
         if !point.is_on_curve() {
             return Err(DecodePointError::NotOnCurve);
         }
-        if !point.to_projective().is_torsion_free() {
+        if !crate::endo::g1_in_subgroup(&point) {
             return Err(DecodePointError::NotInSubgroup);
         }
         Ok(point)
@@ -759,7 +759,7 @@ impl G2Affine {
             y,
             infinity: false,
         };
-        if !point.to_projective().is_torsion_free() {
+        if !crate::endo::g2_in_subgroup(&point) {
             return Err(DecodePointError::NotInSubgroup);
         }
         Ok(point)
@@ -797,7 +797,7 @@ impl G2Affine {
         if !point.is_on_curve() {
             return Err(DecodePointError::NotOnCurve);
         }
-        if !point.to_projective().is_torsion_free() {
+        if !crate::endo::g2_in_subgroup(&point) {
             return Err(DecodePointError::NotInSubgroup);
         }
         Ok(point)

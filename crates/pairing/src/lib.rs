@@ -48,8 +48,10 @@
 //! to protect real keys against side-channel adversaries.
 
 mod arith;
+pub mod codec;
 pub mod constants;
 mod curve;
+mod endo;
 mod fp;
 mod fp12;
 mod fp2;
@@ -62,10 +64,12 @@ pub mod precompute;
 mod sha256;
 mod traits;
 
+pub use codec::{CodecError, Wire};
 pub use curve::{
     Affine, CurveParams, DecodePointError, G1Affine, G1Params, G1Projective, G2Affine, G2Params,
     G2Projective, Projective,
 };
+pub use endo::{g1_in_subgroup, g2_in_subgroup};
 pub use fp::Fp;
 pub use fp12::Fp12;
 pub use fp2::Fp2;

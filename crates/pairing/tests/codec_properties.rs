@@ -1,0 +1,148 @@
+//! Property tests of the canonical wire codec: strict round-trip on
+//! every primitive and systematic rejection of everything else
+//! (trailing bytes, truncations, bad tags, non-canonical scalars,
+//! off-curve and out-of-subgroup points).
+
+use borndist_pairing::codec::{CodecError, Wire};
+use borndist_pairing::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let enc = v.encode();
+    assert_eq!(enc.len(), v.encoded_len());
+    assert_eq!(&T::decode_exact(&enc).expect("own encoding decodes"), v);
+    // Strictness: the encoding plus a trailing byte never decodes.
+    let mut trailing = enc.clone();
+    trailing.push(0);
+    assert!(matches!(
+        T::decode_exact(&trailing),
+        Err(CodecError::TrailingBytes { remaining: 1 })
+    ));
+    // Nor does any strict prefix (empty-encoding types excepted).
+    if !enc.is_empty() {
+        assert!(T::decode_exact(&enc[..enc.len() - 1]).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scalars_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        roundtrip(&Fr::random(&mut rng));
+    }
+
+    #[test]
+    fn points_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        roundtrip(&G1Projective::random(&mut rng).to_affine());
+        roundtrip(&G2Projective::random(&mut rng).to_affine());
+    }
+
+    #[test]
+    fn containers_roundtrip(seed in any::<u64>(), n in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        roundtrip(&scalars);
+        let pairs: Vec<(u32, Fr)> =
+            (0..n as u32).map(|i| (i, Fr::random(&mut rng))).collect();
+        roundtrip(&pairs);
+        roundtrip(&Some(Fr::random(&mut rng)));
+        roundtrip(&None::<Fr>);
+    }
+
+    /// A single corrupted byte in a point encoding either still decodes
+    /// to a *valid subgroup point* (flag-bit flips can pick the negated
+    /// point) or fails cleanly — it must never yield an invalid point.
+    #[test]
+    fn corrupted_points_never_decode_invalid(seed in any::<u64>(), pos in 0usize..48, bit in 0u8..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = G1Projective::random(&mut rng).to_affine().encode();
+        let mut bad = enc.clone();
+        bad[pos] ^= 1 << bit;
+        match G1Affine::decode_exact(&bad) {
+            Ok(p) => {
+                // Whatever decoded is a canonical subgroup member and
+                // re-encodes to the same bytes (canonicity).
+                assert!(p.to_projective().is_torsion_free());
+                assert_eq!(p.encode(), bad);
+            }
+            Err(e) => assert!(matches!(
+                e,
+                CodecError::InvalidPoint(_) | CodecError::NonCanonicalScalar
+            )),
+        }
+    }
+
+    /// Same for G2, whose coordinates live in Fp2.
+    #[test]
+    fn corrupted_g2_never_decodes_invalid(seed in any::<u64>(), pos in 0usize..96, bit in 0u8..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = G2Projective::random(&mut rng).to_affine().encode();
+        let mut bad = enc.clone();
+        bad[pos] ^= 1 << bit;
+        match G2Affine::decode_exact(&bad) {
+            Ok(p) => {
+                assert!(p.to_projective().is_torsion_free());
+                assert_eq!(p.encode(), bad);
+            }
+            Err(e) => assert!(matches!(
+                e,
+                CodecError::InvalidPoint(_) | CodecError::NonCanonicalScalar
+            )),
+        }
+    }
+
+    /// Scalar encodings ≥ r are rejected, everything < r round-trips.
+    #[test]
+    fn scalar_canonicity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Fr::random(&mut rng);
+        let enc = x.encode();
+        // Adding r to the integer gives a 256-bit non-canonical alias
+        // whenever it fits; the decoder must reject it.
+        let as_int = |b: &[u8]| {
+            let mut v = [0u8; 32];
+            v.copy_from_slice(b);
+            v
+        };
+        let r_bytes: [u8; 32] = [
+            0x73, 0xed, 0xa7, 0x53, 0x29, 0x9d, 0x7d, 0x48, 0x33, 0x39, 0xd8, 0x08, 0x09, 0xa1,
+            0xd8, 0x05, 0x53, 0xbd, 0xa4, 0x02, 0xff, 0xfe, 0x5b, 0xfe, 0xff, 0xff, 0xff, 0xff,
+            0x00, 0x00, 0x00, 0x01,
+        ];
+        let mut alias = as_int(&enc);
+        let mut carry = 0u16;
+        let mut overflow = false;
+        for i in (0..32).rev() {
+            let sum = alias[i] as u16 + r_bytes[i] as u16 + carry;
+            alias[i] = sum as u8;
+            carry = sum >> 8;
+        }
+        if carry != 0 { overflow = true; }
+        if !overflow {
+            assert!(matches!(
+                Fr::decode_exact(&alias),
+                Err(CodecError::NonCanonicalScalar)
+            ));
+        }
+        roundtrip(&x);
+    }
+}
+
+#[test]
+fn identity_points_are_canonical() {
+    roundtrip(&G1Affine::identity());
+    roundtrip(&G2Affine::identity());
+    // The only valid infinity encoding is the canonical one: any other
+    // byte set alongside the infinity flag must be rejected.
+    let mut enc = G1Affine::identity().encode();
+    enc[20] = 1;
+    assert!(matches!(
+        G1Affine::decode_exact(&enc),
+        Err(CodecError::InvalidPoint(_))
+    ));
+}

@@ -7,6 +7,7 @@
 //! [`crate::pedersen`].
 
 use crate::polynomial::Polynomial;
+use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{msm, Affine, CurveParams, Fr, Projective};
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +75,17 @@ impl<C: CurveParams> FeldmanCommitment<C> {
         FeldmanCommitment {
             commitments: Projective::batch_to_affine(&sums),
         }
+    }
+}
+
+impl<C: CurveParams> Wire for FeldmanCommitment<C> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.commitments.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(FeldmanCommitment {
+            commitments: Vec::decode(input)?,
+        })
     }
 }
 

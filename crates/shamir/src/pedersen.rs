@@ -15,6 +15,7 @@
 //! key bias while remaining adaptively secure.
 
 use crate::polynomial::Polynomial;
+use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{msm, Fr, G2Affine, G2Projective};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -195,6 +196,45 @@ impl PedersenCommitment {
     /// shape of a refresh sharing (secret pair `(0,0)`).
     pub fn is_zero_sharing(&self) -> bool {
         self.constant_commitment().is_identity()
+    }
+}
+
+impl Wire for PedersenCommitment {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.w.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(PedersenCommitment {
+            w: Vec::decode(input)?,
+        })
+    }
+}
+
+impl Wire for PedersenShare {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.index.encode_to(out);
+        self.a.encode_to(out);
+        self.b.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(PedersenShare {
+            index: u32::decode(input)?,
+            a: Fr::decode(input)?,
+            b: Fr::decode(input)?,
+        })
+    }
+}
+
+impl Wire for PedersenBases {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.g_z.encode_to(out);
+        self.g_r.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(PedersenBases {
+            g_z: G2Affine::decode(input)?,
+            g_r: G2Affine::decode(input)?,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! Receiver `i` checks its share triple against both equations (12).
 
 use crate::polynomial::Polynomial;
+use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{msm, Fr, G2Affine, G2Projective};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -191,6 +192,36 @@ impl TripleCommitment {
             v: comb(&self.v, &other.v),
             w: comb(&self.w, &other.w),
         }
+    }
+}
+
+impl Wire for TripleCommitment {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.v.encode_to(out);
+        self.w.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(TripleCommitment {
+            v: Vec::decode(input)?,
+            w: Vec::decode(input)?,
+        })
+    }
+}
+
+impl Wire for TripleShare {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.index.encode_to(out);
+        self.a.encode_to(out);
+        self.b.encode_to(out);
+        self.c.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(TripleShare {
+            index: u32::decode(input)?,
+            a: Fr::decode(input)?,
+            b: Fr::decode(input)?,
+            c: Fr::decode(input)?,
+        })
     }
 }
 
