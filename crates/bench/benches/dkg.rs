@@ -2,7 +2,8 @@
 //! round/message/byte metrics of the simulated network — the paper's
 //! "single communication round when all players follow the protocol".
 
-use borndist_dkg::{run_dkg, standard_config};
+use borndist_dkg::{dkg_session, standard_config};
+use borndist_net::TransportKind;
 use borndist_shamir::ThresholdParams;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
@@ -18,7 +19,7 @@ fn bench_dkg(c: &mut Criterion) {
     for n in [4usize, 8, 16] {
         let t = (n - 1) / 2;
         let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"bench-dkg", false);
-        let (_, m) = run_dkg(&cfg, &BTreeMap::new(), 1).unwrap();
+        let (_, m) = dkg_session(&cfg, &BTreeMap::new(), 1, &TransportKind::Lockstep).unwrap();
         println!(
             "{:<6} {:<4} {:>8} {:>10} {:>12} {:>14} {:>9.1} ms",
             n,
@@ -42,7 +43,7 @@ fn bench_dkg(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_dkg(&cfg, &BTreeMap::new(), seed).unwrap()
+                dkg_session(&cfg, &BTreeMap::new(), seed, &TransportKind::Lockstep).unwrap()
             })
         });
     }

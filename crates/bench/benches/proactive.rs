@@ -28,7 +28,12 @@ fn bench_refresh(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                dep.advance_epoch(&BTreeMap::new(), seed).unwrap()
+                dep.refresh_epoch(
+                    &BTreeMap::new(),
+                    seed,
+                    &borndist_net::TransportKind::Lockstep,
+                )
+                .unwrap()
             })
         });
     }

@@ -14,7 +14,7 @@
 //! (experiment E7).
 
 use crate::ro::{CombineError, KeyMaterial, PartialSignature, Signature};
-use borndist_dkg::{run_dkg, AggregateBases, Behavior, DkgConfig, SharingMode};
+use borndist_dkg::{dkg_session, AggregateBases, Behavior, DkgConfig, SharingMode};
 use borndist_lhsps::{sign_derive, DpParams, OneTimeSecretKey, OneTimeSignature, PreparedDpParams};
 use borndist_net::Metrics;
 use borndist_pairing::{
@@ -152,8 +152,13 @@ impl AggregateScheme {
             mode: SharingMode::Fresh,
             aggregate: Some(self.bases),
         };
-        let (outputs, metrics) =
-            run_dkg(&cfg, behaviors, seed).map_err(crate::ro::DistKeygenError::Network)?;
+        let (outputs, metrics) = dkg_session(
+            &cfg,
+            behaviors,
+            seed,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .map_err(crate::ro::DistKeygenError::Network)?;
         // Reuse the §3 assembly for shares/VKs, then attach the witness.
         let scheme = crate::ro::ThresholdScheme::with_params(self.params, self.hash_dst.clone());
         let material = scheme.assemble(params, &outputs, behaviors)?;

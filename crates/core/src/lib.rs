@@ -25,13 +25,19 @@
 //!
 //! ```rust
 //! use borndist_core::ro::ThresholdScheme;
+//! use borndist_net::TransportKind;
 //! use borndist_shamir::ThresholdParams;
 //! use std::collections::BTreeMap;
 //!
 //! // 4 servers, tolerating t = 1 corruption; key born distributed.
 //! let scheme = ThresholdScheme::new(b"my-deployment");
 //! let (km, _) = scheme
-//!     .dist_keygen(ThresholdParams::new(1, 4).unwrap(), &BTreeMap::new(), 7)
+//!     .keygen_session(
+//!         ThresholdParams::new(1, 4).unwrap(),
+//!         &BTreeMap::new(),
+//!         7,
+//!         &TransportKind::Lockstep,
+//!     )
 //!     .unwrap();
 //! // Two servers independently produce partial signatures (no talking).
 //! let p1 = scheme.share_sign(&km.shares[&1], b"hello");
@@ -54,7 +60,10 @@ pub use dlin::{
     DlinKeyMaterial, DlinKeyShare, DlinPartialSignature, DlinPublicKey, DlinScheme, DlinSignature,
     DlinVerificationKey,
 };
-pub use netsign::{run_threshold_sign, SignMessage, SigningPlayer};
+pub use netsign::{
+    run_mux_sign, run_threshold_sign, MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPlayer,
+    SignMessage, SigningPlayer,
+};
 pub use proactive::{ProactiveDeployment, ProactiveError};
 pub use ro::{
     CombineError, DistKeygenError, KeyMaterial, KeyShare, PartialSignature, PreparedPublicKey,

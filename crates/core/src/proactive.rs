@@ -27,8 +27,9 @@ pub struct ProactiveDeployment {
 /// Errors of the proactive layer.
 #[derive(Debug)]
 pub enum ProactiveError {
-    /// The refresh protocol failed at the network level.
-    Network(borndist_net::SimError),
+    /// The refresh protocol failed at the network level (any transport,
+    /// any layer — see [`borndist_net::Error`]).
+    Network(borndist_net::Error),
     /// No honest refresh output was produced.
     NoHonestOutput,
     /// Share recovery failed.
@@ -44,7 +45,21 @@ impl core::fmt::Display for ProactiveError {
         }
     }
 }
-impl std::error::Error for ProactiveError {}
+impl std::error::Error for ProactiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProactiveError::Network(e) => Some(e),
+            ProactiveError::Recovery(e) => Some(e),
+            ProactiveError::NoHonestOutput => None,
+        }
+    }
+}
+
+impl From<borndist_net::Error> for ProactiveError {
+    fn from(e: borndist_net::Error) -> Self {
+        ProactiveError::Network(e)
+    }
+}
 
 impl ProactiveDeployment {
     /// Wraps freshly generated key material.
@@ -79,22 +94,7 @@ impl ProactiveDeployment {
     ///
     /// Propagates simulation failures and the (impossible under honest
     /// majority) absence of honest outputs.
-    pub fn advance_epoch(
-        &mut self,
-        behaviors: &BTreeMap<u32, Behavior>,
-        seed: u64,
-    ) -> Result<Metrics, ProactiveError> {
-        self.advance_epoch_over(behaviors, seed, &borndist_net::TransportKind::Lockstep)
-    }
-
-    /// [`Self::advance_epoch`] over an explicit transport (refresh
-    /// messages are ordinary DKG frames; the complaint machinery absorbs
-    /// dropped private deliveries).
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Self::advance_epoch`].
-    pub fn advance_epoch_over(
+    pub fn refresh_epoch(
         &mut self,
         behaviors: &BTreeMap<u32, Behavior>,
         seed: u64,
@@ -107,7 +107,7 @@ impl ProactiveDeployment {
             mode: SharingMode::Refresh,
             aggregate: None,
         };
-        let (outputs, metrics) = refresh::run_refresh_over(&cfg, behaviors, seed, transport)
+        let (outputs, metrics) = refresh::refresh_session(&cfg, behaviors, seed, transport)
             .map_err(ProactiveError::Network)?;
         let reference = outputs
             .iter()
@@ -162,6 +162,28 @@ impl ProactiveDeployment {
         self.material.shares = new_shares;
         self.epoch += 1;
         Ok(metrics)
+    }
+
+    /// Lockstep-only convenience, superseded by [`Self::refresh_epoch`].
+    #[deprecated(note = "use refresh_epoch(behaviors, seed, &TransportKind::Lockstep)")]
+    pub fn advance_epoch(
+        &mut self,
+        behaviors: &BTreeMap<u32, Behavior>,
+        seed: u64,
+    ) -> Result<Metrics, ProactiveError> {
+        self.refresh_epoch(behaviors, seed, &borndist_net::TransportKind::Lockstep)
+    }
+
+    /// Renamed to [`Self::refresh_epoch`] — same signature, same
+    /// semantics.
+    #[deprecated(note = "use refresh_epoch — same signature")]
+    pub fn advance_epoch_over(
+        &mut self,
+        behaviors: &BTreeMap<u32, Behavior>,
+        seed: u64,
+        transport: &borndist_net::TransportKind,
+    ) -> Result<Metrics, ProactiveError> {
+        self.refresh_epoch(behaviors, seed, transport)
     }
 
     /// Restores player `target`'s share from `t+1` helpers (Herzberg
@@ -255,7 +277,12 @@ mod tests {
                 .unwrap()
         };
 
-        dep.advance_epoch(&BTreeMap::new(), 1001).unwrap();
+        dep.refresh_epoch(
+            &BTreeMap::new(),
+            1001,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .unwrap();
         assert_eq!(dep.epoch(), 1);
         assert_eq!(dep.material().public_key, pk_before);
 
@@ -285,7 +312,12 @@ mod tests {
     fn stale_shares_fail_against_new_vks() {
         let mut dep = deployment();
         let old_share = dep.material().shares[&1].clone();
-        dep.advance_epoch(&BTreeMap::new(), 1002).unwrap();
+        dep.refresh_epoch(
+            &BTreeMap::new(),
+            1002,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .unwrap();
         // The stale share no longer matches the refreshed commitments.
         assert!(!dep.share_consistent(&old_share));
         assert!(dep.share_consistent(&dep.material().shares[&1]));
@@ -308,7 +340,12 @@ mod tests {
         let epoch0_shares: Vec<_> = (1..=2u32)
             .map(|i| dep.material().shares[&i].clone())
             .collect();
-        dep.advance_epoch(&BTreeMap::new(), 1003).unwrap();
+        dep.refresh_epoch(
+            &BTreeMap::new(),
+            1003,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .unwrap();
         let msg = b"mobile adversary";
         // Epoch-0 partials are rejected now.
         for s in &epoch0_shares {
@@ -324,7 +361,12 @@ mod tests {
     #[test]
     fn recovery_after_refresh() {
         let mut dep = deployment();
-        dep.advance_epoch(&BTreeMap::new(), 1004).unwrap();
+        dep.refresh_epoch(
+            &BTreeMap::new(),
+            1004,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .unwrap();
         let mut r = StdRng::seed_from_u64(7);
         let recovered = dep.recover_share(&[1, 2, 4], 3, &mut r).unwrap();
         assert_eq!(recovered, dep.material().shares[&3]);
@@ -335,7 +377,12 @@ mod tests {
         let mut dep = deployment();
         let pk = dep.material().public_key.clone();
         for e in 0..3u64 {
-            dep.advance_epoch(&BTreeMap::new(), 2000 + e).unwrap();
+            dep.refresh_epoch(
+                &BTreeMap::new(),
+                2000 + e,
+                &borndist_net::TransportKind::Lockstep,
+            )
+            .unwrap();
         }
         assert_eq!(dep.epoch(), 3);
         assert_eq!(dep.material().public_key, pk);

@@ -17,7 +17,7 @@
 //! Signing is non-interactive: a server needs only its 4-scalar share and
 //! the message. Shares are `O(1)` size regardless of `n` (experiment E4).
 
-use borndist_dkg::{run_dkg_over, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
+use borndist_dkg::{dkg_session, Behavior, DkgAbort, DkgConfig, DkgOutput, SharingMode};
 use borndist_lhsps::{
     sign_derive, DpParams, OneTimePublicKey, OneTimeSecretKey, OneTimeSignature, PreparedDpParams,
     PreparedOneTimePublicKey,
@@ -319,24 +319,66 @@ impl ThresholdScheme {
     /// Returns the per-player abort if any *honest-configured* player
     /// failed (which the protocol guarantees not to happen under an
     /// honest majority).
+    pub fn keygen_session(
+        &self,
+        params: ThresholdParams,
+        behaviors: &BTreeMap<u32, Behavior>,
+        seed: u64,
+        transport: &TransportKind,
+    ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
+        let cfg = self.dkg_config(params);
+        let (outputs, metrics) =
+            dkg_session(&cfg, behaviors, seed, transport).map_err(DistKeygenError::Network)?;
+        let material = self.assemble(params, &outputs, behaviors)?;
+        Ok((material, metrics))
+    }
+
+    /// The DKG configuration this scheme's `Dist-Keygen` runs (width-2
+    /// fresh sharing over the scheme's Pedersen bases) — what a
+    /// distributed deployment hands to [`borndist_dkg::dkg_players`]
+    /// when each player drives its own transport.
+    pub fn dkg_config(&self, params: ThresholdParams) -> DkgConfig {
+        DkgConfig {
+            params,
+            bases: self.pedersen_bases(),
+            width: 2,
+            mode: SharingMode::Fresh,
+            aggregate: None,
+        }
+    }
+
+    /// Assembles [`KeyMaterial`] from a *single* player's DKG output —
+    /// the distributed-deployment path, where no process ever sees
+    /// another player's share. The result carries only this player's
+    /// [`KeyShare`]; the public parts (public key, verification keys,
+    /// qualified set, commitments) are complete, since every honest
+    /// player's output agrees on them.
+    pub fn key_material_from_output(
+        &self,
+        params: ThresholdParams,
+        id: u32,
+        output: &DkgOutput,
+    ) -> KeyMaterial {
+        let outputs: BTreeMap<u32, Result<DkgOutput, DkgAbort>> =
+            [(id, Ok(output.clone()))].into_iter().collect();
+        self.assemble(params, &outputs, &BTreeMap::new())
+            .expect("a concrete DKG output always assembles")
+    }
+
+    /// Lockstep-only convenience, superseded by [`Self::keygen_session`].
+    #[deprecated(note = "use keygen_session(params, behaviors, seed, &TransportKind::Lockstep)")]
     pub fn dist_keygen(
         &self,
         params: ThresholdParams,
         behaviors: &BTreeMap<u32, Behavior>,
         seed: u64,
     ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
-        self.dist_keygen_over(params, behaviors, seed, &TransportKind::Lockstep)
+        self.keygen_session(params, behaviors, seed, &TransportKind::Lockstep)
     }
 
-    /// [`Self::dist_keygen`] over an explicit transport — e.g. a
-    /// [`borndist_net::ChannelTransport`] with a lossy
-    /// [`borndist_net::DeliveryPolicy`], where every DKG message crosses
-    /// a thread boundary as encoded bytes and dropped share deliveries
-    /// are absorbed by the complaint machinery.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Self::dist_keygen`].
+    /// Renamed to [`Self::keygen_session`] — same signature, same
+    /// semantics.
+    #[deprecated(note = "use keygen_session — same signature")]
     pub fn dist_keygen_over(
         &self,
         params: ThresholdParams,
@@ -344,17 +386,7 @@ impl ThresholdScheme {
         seed: u64,
         transport: &TransportKind,
     ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
-        let cfg = DkgConfig {
-            params,
-            bases: self.pedersen_bases(),
-            width: 2,
-            mode: SharingMode::Fresh,
-            aggregate: None,
-        };
-        let (outputs, metrics) =
-            run_dkg_over(&cfg, behaviors, seed, transport).map_err(DistKeygenError::Network)?;
-        let material = self.assemble(params, &outputs, behaviors)?;
-        Ok((material, metrics))
+        self.keygen_session(params, behaviors, seed, transport)
     }
 
     /// Maps DKG outputs into scheme key material.
@@ -645,8 +677,9 @@ pub(crate) fn prepare_verification_keys(
 /// Errors from distributed key generation.
 #[derive(Debug)]
 pub enum DistKeygenError {
-    /// The network simulation failed.
-    Network(borndist_net::SimError),
+    /// The network run failed (any transport, any layer — see
+    /// [`borndist_net::Error`]).
+    Network(borndist_net::Error),
     /// No honest player produced an output.
     NoHonestOutput,
 }
@@ -659,7 +692,20 @@ impl core::fmt::Display for DistKeygenError {
         }
     }
 }
-impl std::error::Error for DistKeygenError {}
+impl std::error::Error for DistKeygenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistKeygenError::Network(e) => Some(e),
+            DistKeygenError::NoHonestOutput => None,
+        }
+    }
+}
+
+impl From<borndist_net::Error> for DistKeygenError {
+    fn from(e: borndist_net::Error) -> Self {
+        DistKeygenError::Network(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -777,7 +823,12 @@ mod tests {
     fn dist_keygen_end_to_end() {
         let scheme = ThresholdScheme::new(b"ro-dkg-e2e");
         let (km, metrics) = scheme
-            .dist_keygen(ThresholdParams::new(1, 4).unwrap(), &BTreeMap::new(), 5)
+            .keygen_session(
+                ThresholdParams::new(1, 4).unwrap(),
+                &BTreeMap::new(),
+                5,
+                &borndist_net::TransportKind::Lockstep,
+            )
             .unwrap();
         assert_eq!(metrics.active_rounds, 1);
         let msg = b"born distributed";
@@ -805,7 +856,12 @@ mod tests {
             },
         );
         let (km, _) = scheme
-            .dist_keygen(ThresholdParams::new(1, 4).unwrap(), &behaviors, 6)
+            .keygen_session(
+                ThresholdParams::new(1, 4).unwrap(),
+                &behaviors,
+                6,
+                &borndist_net::TransportKind::Lockstep,
+            )
             .unwrap();
         // Dealer 2 disqualified; signing still works with any 2 players.
         assert!(!km.qualified.contains(&2));

@@ -22,7 +22,7 @@
 //! resistance composition (the hash is *not* modeled as a random oracle
 //! in the proof; only collision resistance is used).
 
-use borndist_dkg::{run_dkg, Behavior, DkgConfig, SharingMode};
+use borndist_dkg::{dkg_session, Behavior, DkgConfig, SharingMode};
 use borndist_grothsahai as gs;
 use borndist_lhsps::{DpParams, PreparedDpParams};
 use borndist_net::Metrics;
@@ -219,8 +219,13 @@ impl StandardScheme {
             mode: SharingMode::Fresh,
             aggregate: None,
         };
-        let (outputs, metrics) =
-            run_dkg(&cfg, behaviors, seed).map_err(DistKeygenError::Network)?;
+        let (outputs, metrics) = dkg_session(
+            &cfg,
+            behaviors,
+            seed,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .map_err(DistKeygenError::Network)?;
         let reference = outputs
             .iter()
             .filter(|(id, _)| behaviors.get(id).is_none_or(Behavior::is_honest))

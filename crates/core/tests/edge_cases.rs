@@ -218,7 +218,14 @@ fn dkg_behaviors_map_for_unknown_players_is_ignored() {
             ..Default::default()
         },
     );
-    let (km, metrics) = scheme.dist_keygen(params, &behaviors, 11).unwrap();
+    let (km, metrics) = scheme
+        .keygen_session(
+            params,
+            &behaviors,
+            11,
+            &borndist_net::TransportKind::Lockstep,
+        )
+        .unwrap();
     assert_eq!(metrics.active_rounds, 1);
     assert_eq!(km.qualified.len(), 4);
 }

@@ -23,13 +23,15 @@
 //! ## Example
 //!
 //! ```rust
-//! use borndist_dkg::{run_dkg, standard_config};
+//! use borndist_dkg::{dkg_session, standard_config};
+//! use borndist_net::TransportKind;
 //! use borndist_shamir::ThresholdParams;
 //! use std::collections::BTreeMap;
 //!
 //! let params = ThresholdParams::new(1, 4).unwrap();
 //! let cfg = standard_config(params, 2, b"doc-example", false);
-//! let (outputs, metrics) = run_dkg(&cfg, &BTreeMap::new(), 42).unwrap();
+//! let (outputs, metrics) =
+//!     dkg_session(&cfg, &BTreeMap::new(), 42, &TransportKind::Lockstep).unwrap();
 //! assert!(outputs.values().all(|o| o.is_ok()));
 //! // Honest run: the only active round is the dealing round.
 //! assert_eq!(metrics.active_rounds, 1);
@@ -42,10 +44,12 @@ pub mod refresh;
 
 pub use messages::{AggregateWitness, DkgMessage};
 pub use player::{
-    dkg_players, run_dkg, run_dkg_over, standard_config, AggregateBases, Behavior, DkgAbort,
-    DkgConfig, DkgOutput, DkgPlayer, SharingMode, SimulatedRunResult,
+    dkg_players, dkg_session, standard_config, AggregateBases, Behavior, DkgAbort, DkgConfig,
+    DkgOutput, DkgPlayer, SharingMode, SimulatedRunResult,
 };
+#[allow(deprecated)]
+pub use player::{run_dkg, run_dkg_over};
 pub use recovery::{recover_share, Helper, RecoveryError, RecoveryMessage};
-pub use refresh::{
-    apply_refresh, apply_refresh_commitments, run_refresh, run_refresh_over, RefreshOutput,
-};
+pub use refresh::{apply_refresh, apply_refresh_commitments, refresh_session, RefreshOutput};
+#[allow(deprecated)]
+pub use refresh::{run_refresh, run_refresh_over};

@@ -741,15 +741,15 @@ impl Protocol for DkgPlayer {
     }
 }
 
-/// Per-player outcomes plus traffic metrics of one simulated DKG (or
-/// refresh) run: the result type of [`run_dkg`] and
-/// [`crate::refresh::run_refresh`].
+/// Per-player outcomes plus traffic metrics of one DKG (or refresh)
+/// run: the result type of [`dkg_session`] and
+/// [`crate::refresh::refresh_session`].
 pub type SimulatedRunResult = Result<
     (
         BTreeMap<PlayerId, Result<DkgOutput, DkgAbort>>,
         borndist_net::Metrics,
     ),
-    borndist_net::SimError,
+    borndist_net::Error,
 >;
 
 /// Builds the boxed player set of one DKG run (honest players plus the
@@ -767,26 +767,19 @@ pub fn dkg_players(
         .collect()
 }
 
-/// Convenience driver: runs a full DKG over the lockstep transport (the
-/// paper's idealized network).
+/// Runs a full DKG session over any transport — the single driver
+/// behind every network the runtime offers:
+/// [`borndist_net::TransportKind::Lockstep`] for the paper's idealized
+/// model, [`borndist_net::TransportKind::Channel`] with a lossy
+/// [`borndist_net::DeliveryPolicy`] for unreliable-network scenarios,
+/// and [`borndist_net::TransportKind::TcpLoopback`] for real sockets.
 ///
 /// `behaviors` maps player ids to fault hooks; unlisted players are
-/// honest. Returns per-player outputs plus network metrics.
-pub fn run_dkg(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-) -> SimulatedRunResult {
-    run_dkg_over(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
-}
-
-/// [`run_dkg`] over an explicit transport — e.g.
-/// [`borndist_net::TransportKind::Channel`] with a lossy
-/// [`borndist_net::DeliveryPolicy`] for unreliable-network scenarios.
-/// Byte metrics are transport-independent for the same seed (the frames
-/// are identical); the round budget is sized so that the complaint
+/// honest. Returns per-player outputs plus network metrics. Byte
+/// metrics are transport-independent for the same seed (the frames are
+/// identical); the round budget is sized so that the complaint
 /// machinery can absorb dropped share deliveries.
-pub fn run_dkg_over(
+pub fn dkg_session(
     cfg: &DkgConfig,
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
@@ -795,6 +788,27 @@ pub fn run_dkg_over(
     let players = dkg_players(cfg, behaviors, seed);
     let (outputs, metrics) = borndist_net::run_protocol(transport, players, 8)?;
     Ok((outputs, metrics))
+}
+
+/// Lockstep-only convenience, superseded by [`dkg_session`].
+#[deprecated(note = "use dkg_session(cfg, behaviors, seed, &TransportKind::Lockstep)")]
+pub fn run_dkg(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+) -> SimulatedRunResult {
+    dkg_session(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
+}
+
+/// Renamed to [`dkg_session`] — same signature, same semantics.
+#[deprecated(note = "use dkg_session — same signature")]
+pub fn run_dkg_over(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+    transport: &borndist_net::TransportKind,
+) -> SimulatedRunResult {
+    dkg_session(cfg, behaviors, seed, transport)
 }
 
 /// Derives the standard DKG generators and aggregate bases from a

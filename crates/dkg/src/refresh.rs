@@ -49,22 +49,13 @@ pub fn apply_refresh_commitments(
         .collect()
 }
 
-/// Runs one refresh period over the lockstep transport.
+/// Runs one refresh period over any transport (refresh messages are
+/// ordinary [`crate::DkgMessage`] frames, so everything said about
+/// [`crate::dkg_session`] applies).
 ///
 /// `cfg` must describe the *original* DKG (same width, bases, params);
 /// its mode is overridden to [`SharingMode::Refresh`].
-pub fn run_refresh(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-) -> SimulatedRunResult {
-    run_refresh_over(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
-}
-
-/// [`run_refresh`] over an explicit transport (refresh messages are
-/// ordinary [`crate::DkgMessage`] frames, so everything said about
-/// [`crate::run_dkg_over`] applies).
-pub fn run_refresh_over(
+pub fn refresh_session(
     cfg: &DkgConfig,
     behaviors: &BTreeMap<PlayerId, Behavior>,
     seed: u64,
@@ -75,5 +66,26 @@ pub fn run_refresh_over(
     // The Appendix G witness commits to the *key* constants, which are all
     // zero during refresh; skip it.
     refresh_cfg.aggregate = None;
-    crate::player::run_dkg_over(&refresh_cfg, behaviors, seed, transport)
+    crate::player::dkg_session(&refresh_cfg, behaviors, seed, transport)
+}
+
+/// Lockstep-only convenience, superseded by [`refresh_session`].
+#[deprecated(note = "use refresh_session(cfg, behaviors, seed, &TransportKind::Lockstep)")]
+pub fn run_refresh(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+) -> SimulatedRunResult {
+    refresh_session(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
+}
+
+/// Renamed to [`refresh_session`] — same signature, same semantics.
+#[deprecated(note = "use refresh_session — same signature")]
+pub fn run_refresh_over(
+    cfg: &DkgConfig,
+    behaviors: &BTreeMap<PlayerId, Behavior>,
+    seed: u64,
+    transport: &borndist_net::TransportKind,
+) -> SimulatedRunResult {
+    refresh_session(cfg, behaviors, seed, transport)
 }

@@ -4,7 +4,8 @@
 //! public key, and (c) hold shares consistent with the public
 //! commitments.
 
-use borndist_dkg::{run_dkg, standard_config, Behavior, DkgOutput};
+use borndist_dkg::{dkg_session, standard_config, Behavior, DkgOutput};
+use borndist_net::TransportKind;
 use borndist_pairing::Fr;
 use borndist_shamir::{interpolate_at, PedersenShare, ThresholdParams};
 use proptest::prelude::*;
@@ -51,7 +52,7 @@ proptest! {
             behaviors.insert(slot2, bad2);
         }
 
-        let (outputs, _) = run_dkg(&cfg, &behaviors, seed).expect("simulation completes");
+        let (outputs, _) = dkg_session(&cfg, &behaviors, seed, &TransportKind::Lockstep).expect("simulation completes");
 
         // Honest players (those without hooks) must all succeed and agree.
         let honest: Vec<&DkgOutput> = outputs

@@ -2,9 +2,10 @@
 //! executions, plus refresh and recovery.
 
 use borndist_dkg::{
-    apply_refresh, apply_refresh_commitments, recover_share, run_dkg, run_refresh, standard_config,
-    Behavior, DkgAbort, DkgOutput, Helper,
+    apply_refresh, apply_refresh_commitments, dkg_session, recover_share, refresh_session,
+    standard_config, Behavior, DkgAbort, DkgOutput, Helper,
 };
+use borndist_net::TransportKind;
 use borndist_pairing::{Fr, G2Affine};
 use borndist_shamir::{interpolate_at, PedersenShare, ThresholdParams};
 use rand::rngs::StdRng;
@@ -13,7 +14,7 @@ use std::collections::BTreeMap;
 
 fn honest_run(t: usize, n: usize, seed: u64) -> BTreeMap<u32, DkgOutput> {
     let cfg = standard_config(ThresholdParams::new(t, n).unwrap(), 2, b"test", false);
-    let (outputs, _) = run_dkg(&cfg, &BTreeMap::new(), seed).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &BTreeMap::new(), seed, &TransportKind::Lockstep).unwrap();
     outputs
         .into_iter()
         .map(|(id, o)| (id, o.expect("honest players succeed")))
@@ -25,7 +26,8 @@ fn honest_run(t: usize, n: usize, seed: u64) -> BTreeMap<u32, DkgOutput> {
 #[test]
 fn honest_run_reaches_agreement() {
     let cfg = standard_config(ThresholdParams::new(2, 5).unwrap(), 2, b"test", false);
-    let (outputs, metrics) = run_dkg(&cfg, &BTreeMap::new(), 7).unwrap();
+    let (outputs, metrics) =
+        dkg_session(&cfg, &BTreeMap::new(), 7, &TransportKind::Lockstep).unwrap();
     let outs: Vec<&DkgOutput> = outputs.values().map(|o| o.as_ref().unwrap()).collect();
 
     // Agreement on Q (everyone qualified) and on the public key.
@@ -93,7 +95,7 @@ fn corrupt_share_is_repaired_by_complaint_round() {
             ..Default::default()
         },
     );
-    let (outputs, metrics) = run_dkg(&cfg, &behaviors, 11).unwrap();
+    let (outputs, metrics) = dkg_session(&cfg, &behaviors, 11, &TransportKind::Lockstep).unwrap();
     let outs: BTreeMap<u32, DkgOutput> = outputs
         .into_iter()
         .map(|(id, o)| (id, o.unwrap()))
@@ -132,7 +134,7 @@ fn unanswered_complaint_disqualifies_dealer() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 13).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 13, &TransportKind::Lockstep).unwrap();
     for (id, o) in outputs {
         let o = o.unwrap();
         assert!(!o.qualified.contains(&3), "player {} still trusts 3", id);
@@ -154,7 +156,7 @@ fn withholding_dealer_disqualified() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 17).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 17, &TransportKind::Lockstep).unwrap();
     for o in outputs.values() {
         assert!(!o.as_ref().unwrap().qualified.contains(&2));
     }
@@ -172,7 +174,7 @@ fn crash_before_dealing_excluded() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 19).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 19, &TransportKind::Lockstep).unwrap();
     assert_eq!(outputs[&5], Err(DkgAbort::Crashed));
     for id in 1u32..=4 {
         let o = outputs[&id].as_ref().unwrap();
@@ -194,7 +196,7 @@ fn crash_after_dealing_keeps_contribution() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 23).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 23, &TransportKind::Lockstep).unwrap();
     for id in 1u32..=4 {
         let o = outputs[&id].as_ref().unwrap();
         assert!(o.qualified.contains(&5), "silent-but-honest dealer kept");
@@ -213,7 +215,7 @@ fn false_accusation_is_harmless() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 29).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 29, &TransportKind::Lockstep).unwrap();
     for o in outputs.values() {
         let o = o.as_ref().unwrap();
         assert!(o.qualified.contains(&1));
@@ -234,7 +236,7 @@ fn malformed_broadcast_disqualifies() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 31).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 31, &TransportKind::Lockstep).unwrap();
     for id in 2u32..=4 {
         assert!(!outputs[&id].as_ref().unwrap().qualified.contains(&1));
     }
@@ -245,7 +247,7 @@ fn malformed_broadcast_disqualifies() {
 fn aggregate_witness_combines() {
     use borndist_pairing::multi_pairing;
     let cfg = standard_config(ThresholdParams::new(1, 4).unwrap(), 2, b"agg-test", true);
-    let (outputs, _) = run_dkg(&cfg, &BTreeMap::new(), 37).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &BTreeMap::new(), 37, &TransportKind::Lockstep).unwrap();
     let o = outputs[&1].as_ref().unwrap();
     let witness = o.aggregate_witness.expect("witness present");
     let pk = o.public_key_coordinates();
@@ -272,7 +274,7 @@ fn bad_aggregate_witness_disqualifies() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 41).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 41, &TransportKind::Lockstep).unwrap();
     for id in [1u32, 2, 4] {
         assert!(!outputs[&id].as_ref().unwrap().qualified.contains(&3));
     }
@@ -282,7 +284,7 @@ fn bad_aggregate_witness_disqualifies() {
 #[test]
 fn refresh_preserves_public_key_and_secret() {
     let cfg = standard_config(ThresholdParams::new(2, 5).unwrap(), 2, b"test", false);
-    let (outputs, _) = run_dkg(&cfg, &BTreeMap::new(), 43).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &BTreeMap::new(), 43, &TransportKind::Lockstep).unwrap();
     let outs: BTreeMap<u32, DkgOutput> = outputs
         .into_iter()
         .map(|(id, o)| (id, o.unwrap()))
@@ -297,7 +299,8 @@ fn refresh_preserves_public_key_and_secret() {
         interpolate_at(&pts, Fr::zero()).unwrap()
     };
 
-    let (refresh_outputs, _) = run_refresh(&cfg, &BTreeMap::new(), 44).unwrap();
+    let (refresh_outputs, _) =
+        refresh_session(&cfg, &BTreeMap::new(), 44, &TransportKind::Lockstep).unwrap();
     let new_shares: BTreeMap<u32, Vec<(Fr, Fr)>> = outs
         .iter()
         .map(|(id, o)| {
@@ -355,7 +358,7 @@ fn nonzero_refresh_dealer_disqualified() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_refresh(&cfg, &behaviors, 47).unwrap();
+    let (outputs, _) = refresh_session(&cfg, &behaviors, 47, &TransportKind::Lockstep).unwrap();
     for id in [1u32, 3, 4] {
         assert!(!outputs[&id].as_ref().unwrap().qualified.contains(&2));
     }
@@ -478,7 +481,7 @@ fn mixed_faults_large_instance() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 67).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 67, &TransportKind::Lockstep).unwrap();
     let mut reference: Option<DkgOutput> = None;
     for (id, o) in &outputs {
         if *id == 5 {
@@ -526,7 +529,7 @@ fn equivocation_disqualifies() {
             ..Default::default()
         },
     );
-    let (outputs, _) = run_dkg(&cfg, &behaviors, 73).unwrap();
+    let (outputs, _) = dkg_session(&cfg, &behaviors, 73, &TransportKind::Lockstep).unwrap();
     for id in [1u32, 2, 4] {
         let o = outputs[&id].as_ref().unwrap();
         assert!(!o.qualified.contains(&3), "player {} kept equivocator", id);
@@ -539,5 +542,5 @@ fn equivocation_disqualifies() {
 #[should_panic(expected = "n >= 2t + 1")]
 fn dishonest_majority_parameters_rejected() {
     let cfg = standard_config(ThresholdParams::new(3, 4).unwrap(), 2, b"test", false);
-    let _ = run_dkg(&cfg, &BTreeMap::new(), 79);
+    let _ = dkg_session(&cfg, &BTreeMap::new(), 79, &TransportKind::Lockstep);
 }

@@ -3,7 +3,7 @@
 //! completion under lossy/partitioned networks (the complaint machinery
 //! doubling as loss recovery).
 
-use borndist_dkg::{run_dkg, run_dkg_over, standard_config, Behavior, DkgOutput};
+use borndist_dkg::{dkg_session, standard_config, Behavior, DkgOutput};
 use borndist_net::{
     DeliveryPolicy, Outage, Partition, Tamper, TamperRule, TransportKind, WireSize,
 };
@@ -28,8 +28,8 @@ fn channel_transport_matches_lockstep_byte_for_byte() {
     let params = ThresholdParams::new(1, 4).unwrap();
     let cfg = standard_config(params, 2, b"parity", false);
     let behaviors = BTreeMap::new();
-    let (out_lock, m_lock) = run_dkg(&cfg, &behaviors, 42).unwrap();
-    let (out_chan, m_chan) = run_dkg_over(
+    let (out_lock, m_lock) = dkg_session(&cfg, &behaviors, 42, &TransportKind::Lockstep).unwrap();
+    let (out_chan, m_chan) = dkg_session(
         &cfg,
         &behaviors,
         42,
@@ -68,8 +68,8 @@ fn byzantine_run_parity_across_transports() {
             ..Default::default()
         },
     );
-    let (out_lock, m_lock) = run_dkg(&cfg, &behaviors, 7).unwrap();
-    let (out_chan, m_chan) = run_dkg_over(
+    let (out_lock, m_lock) = dkg_session(&cfg, &behaviors, 7, &TransportKind::Lockstep).unwrap();
+    let (out_chan, m_chan) = dkg_session(
         &cfg,
         &behaviors,
         7,
@@ -105,7 +105,7 @@ fn tampered_dealer_frames_become_disqualification_not_panic() {
             ..DeliveryPolicy::default()
         };
         let (outputs, _) =
-            run_dkg_over(&cfg, &BTreeMap::new(), 11, &TransportKind::Channel(policy)).unwrap();
+            dkg_session(&cfg, &BTreeMap::new(), 11, &TransportKind::Channel(policy)).unwrap();
         let reference = agreed_output(&outputs);
         assert!(
             !reference.qualified.contains(&2),
@@ -130,7 +130,7 @@ fn dkg_completes_under_drop_and_reorder() {
 
     // Policy seed 1: drops spread out (≤ t complaints per dealer), so
     // every dealer answers its way back in and nobody is disqualified.
-    let (outputs, metrics) = run_dkg_over(
+    let (outputs, metrics) = dkg_session(
         &cfg,
         &BTreeMap::new(),
         13,
@@ -149,7 +149,7 @@ fn dkg_completes_under_drop_and_reorder() {
     // Policy seed 0x10551: loss happens to concentrate > t complaints
     // on one dealer — the protocol correctly drops that dealing, every
     // player still finishes, and all agree on the reduced set.
-    let (outputs, _) = run_dkg_over(
+    let (outputs, _) = dkg_session(
         &cfg,
         &BTreeMap::new(),
         13,
@@ -180,7 +180,7 @@ fn round_zero_partition_disqualifies_minority_dealings_only() {
         ..DeliveryPolicy::default()
     };
     let (outputs, _) =
-        run_dkg_over(&cfg, &BTreeMap::new(), 17, &TransportKind::Channel(policy)).unwrap();
+        dkg_session(&cfg, &BTreeMap::new(), 17, &TransportKind::Channel(policy)).unwrap();
     let reference = agreed_output(&outputs);
     assert_eq!(
         reference.qualified,
@@ -210,7 +210,7 @@ fn round_zero_outage_reads_as_crashed_dealer() {
         ..DeliveryPolicy::default()
     };
     let (outputs, _) =
-        run_dkg_over(&cfg, &BTreeMap::new(), 17, &TransportKind::Channel(policy)).unwrap();
+        dkg_session(&cfg, &BTreeMap::new(), 17, &TransportKind::Channel(policy)).unwrap();
     let reference = agreed_output(&outputs);
     assert_eq!(
         reference.qualified,
@@ -222,6 +222,148 @@ fn round_zero_outage_reads_as_crashed_dealer() {
         outputs[&4].is_ok(),
         "the offline player recovers via answers"
     );
+}
+
+#[test]
+fn tcp_loopback_matches_channel_byte_for_byte() {
+    // The same DKG over real loopback sockets: per-player TCP metrics
+    // merged into the global view must equal the in-process transports
+    // exactly — the tentpole parity gate at the protocol level.
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let cfg = standard_config(params, 2, b"tcp-parity", false);
+    let behaviors = BTreeMap::new();
+    let (out_chan, m_chan) = dkg_session(
+        &cfg,
+        &behaviors,
+        42,
+        &TransportKind::Channel(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    let (out_tcp, m_tcp) = dkg_session(
+        &cfg,
+        &behaviors,
+        42,
+        &TransportKind::TcpLoopback(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    assert!(
+        m_chan.same_traffic(&m_tcp),
+        "TCP frames must meter byte-identically: {:?} vs {:?}",
+        m_chan,
+        m_tcp
+    );
+    let ref_chan = agreed_output(&out_chan);
+    let ref_tcp = agreed_output(&out_tcp);
+    assert_eq!(ref_chan.qualified, ref_tcp.qualified);
+    assert_eq!(ref_chan.combined_commitments, ref_tcp.combined_commitments);
+    assert_eq!(ref_chan.share, ref_tcp.share);
+}
+
+#[test]
+fn tcp_peer_going_silent_mid_run_reads_as_complaints() {
+    // Player 3 stops participating after dealing (crash_at_round 1):
+    // over real sockets its frames simply never arrive, the complaint
+    // round absorbs the absence, and the surviving players agree — with
+    // traffic still byte-identical to the in-process transports (the
+    // crash is part of the protocol, not of the network).
+    let params = ThresholdParams::new(1, 5).unwrap();
+    let cfg = standard_config(params, 2, b"tcp-crash", false);
+    let mut behaviors = BTreeMap::new();
+    behaviors.insert(
+        2u32,
+        Behavior {
+            corrupt_shares_to: [4u32].into_iter().collect(),
+            refuse_answers: true,
+            ..Default::default()
+        },
+    );
+    behaviors.insert(
+        3u32,
+        Behavior {
+            crash_at_round: Some(1),
+            ..Default::default()
+        },
+    );
+    let (out_lock, m_lock) = dkg_session(&cfg, &behaviors, 7, &TransportKind::Lockstep).unwrap();
+    let (out_tcp, m_tcp) = dkg_session(
+        &cfg,
+        &behaviors,
+        7,
+        &TransportKind::TcpLoopback(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    assert!(m_lock.same_traffic(&m_tcp));
+    let q = &agreed_output(&out_tcp).qualified;
+    assert_eq!(q, &agreed_output(&out_lock).qualified);
+    assert!(!q.contains(&2), "refusing dealer is out over TCP too");
+}
+
+#[test]
+fn tcp_malformed_frames_disqualify_over_real_sockets() {
+    // Dealer 2's round-0 frames are corrupted at the real socket
+    // boundary (sender-side tamper, after metering — same discipline as
+    // the in-process router): receivers apply the strict decode and
+    // disqualify, identically to the channel transport.
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let cfg = standard_config(params, 2, b"tcp-tamper", false);
+    for kind in [Tamper::FlipPayloadBit, Tamper::BadVersion] {
+        let policy = DeliveryPolicy {
+            tamper: vec![TamperRule {
+                round: 0,
+                from: 2,
+                kind,
+            }],
+            ..DeliveryPolicy::default()
+        };
+        let (out_tcp, m_tcp) = dkg_session(
+            &cfg,
+            &BTreeMap::new(),
+            11,
+            &TransportKind::TcpLoopback(policy.clone()),
+        )
+        .unwrap();
+        let (out_chan, m_chan) =
+            dkg_session(&cfg, &BTreeMap::new(), 11, &TransportKind::Channel(policy)).unwrap();
+        let reference = agreed_output(&out_tcp);
+        assert!(
+            !reference.qualified.contains(&2),
+            "{:?}: malformed real-socket frames must disqualify",
+            kind
+        );
+        assert_eq!(reference.qualified, agreed_output(&out_chan).qualified);
+        // Tampering is rule-driven (no randomness), so even this run
+        // meters byte-identically across runtimes.
+        assert!(m_chan.same_traffic(&m_tcp));
+    }
+}
+
+#[test]
+fn tcp_completes_under_drop_and_reorder() {
+    // Lossy, reordering sockets: the TCP runtime draws per-sender fault
+    // randomness (deterministic per seed, but a different stream than
+    // the in-process router's), so the *pattern* of loss differs from
+    // the channel transport — the invariants that must hold regardless:
+    // everyone finishes, everyone agrees, and complaint traffic shows up
+    // in the metering.
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let cfg = standard_config(params, 2, b"tcp-lossy", false);
+    let (outputs, metrics) = dkg_session(
+        &cfg,
+        &BTreeMap::new(),
+        13,
+        &TransportKind::TcpLoopback(DeliveryPolicy::lossy(1, 0.15)),
+    )
+    .unwrap();
+    let reference = agreed_output(&outputs);
+    assert!(
+        outputs.values().all(|o| o.is_ok()),
+        "loss must not wedge the mesh"
+    );
+    assert!(
+        reference.qualified.len() >= params.n - params.t,
+        "loss alone must not disqualify more than t dealers"
+    );
+    assert!(metrics.bytes > 0);
 }
 
 #[test]

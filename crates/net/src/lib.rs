@@ -15,33 +15,44 @@
 //! [`Delivered::msg`], so protocols treat malformed traffic as
 //! first-class misbehavior rather than panicking.
 //!
-//! Two interchangeable transports drive the players:
+//! Three interchangeable transports drive the players:
 //!
 //! * [`LockstepTransport`] — the faithful idealized model (formerly
 //!   `Simulator`): synchronous rounds on one thread, reliable delivery;
 //! * [`ChannelTransport`] — one OS thread per player, frames crossing
 //!   `mpsc` channels, with a deterministic fault-injection
 //!   [`DeliveryPolicy`] (per-link drop, duplication, reordering,
-//!   partitions, crash-restart outages, frame tampering).
+//!   partitions, crash-restart outages, frame tampering);
+//! * [`TcpTransport`] — one player per engine over real
+//!   `std::net::TcpStream` sockets, so a run can span OS processes and
+//!   machines; [`TransportKind::TcpLoopback`] runs a whole player set as
+//!   an in-process mesh on `127.0.0.1` for tests.
 //!
-//! Both share one router, so traffic metering ([`Metrics`]) is
-//! identical by construction: experiment E5's byte counts are the exact
-//! frame lengths on the wire, whichever transport runs the protocol.
+//! The in-process transports share one router, and the TCP transport
+//! meters identically (sender-side, real frame lengths, before fault
+//! injection), so traffic metering ([`Metrics`]) agrees by
+//! construction: experiment E5's byte counts are the exact frame
+//! lengths on the wire, whichever transport runs the protocol.
 //! Byzantine behavior is expressed by registering a *different* state
 //! machine (or behavior-hooked player) for a corrupted player;
 //! unreliable-network behavior by the policy — both in one runtime.
+//! Failures from every layer unify in [`Error`] (see [`error`]).
 
 mod channel;
+mod error;
 pub mod frame;
 mod lockstep;
 mod policy;
 mod router;
+pub mod tcp;
 
 pub use borndist_pairing::codec::{CodecError, Wire};
 pub use channel::ChannelTransport;
+pub use error::{Error, TcpError};
 pub use frame::{decode_frame, encode_frame, WIRE_VERSION};
 pub use lockstep::LockstepTransport;
 pub use policy::{DeliveryPolicy, Outage, Partition, Tamper, TamperRule};
+pub use tcp::{dial_with_backoff, TcpOptions, TcpTransport, MAX_ENVELOPE_BYTES};
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -182,6 +193,107 @@ impl Metrics {
             && self.bytes_by_player == other.bytes_by_player
             && self.per_round == other.per_round
     }
+
+    /// Merges per-player metrics (each covering one player's sends, as
+    /// the TCP transport produces) into the global view the in-process
+    /// transports meter directly: counters sum, per-round vectors sum
+    /// elementwise (padding short runs with zero rounds), and the
+    /// wall-clock samples take the slowest player (rounds overlap in
+    /// real time, they don't concatenate).
+    pub fn merge<'a, I: IntoIterator<Item = &'a Metrics>>(parts: I) -> Metrics {
+        let mut merged = Metrics::default();
+        for part in parts {
+            merged.messages += part.messages;
+            merged.bytes += part.bytes;
+            merged.total_rounds = merged.total_rounds.max(part.total_rounds);
+            for (player, bytes) in &part.bytes_by_player {
+                *merged.bytes_by_player.entry(*player).or_insert(0) += bytes;
+            }
+            if merged.per_round.len() < part.per_round.len() {
+                merged.per_round.resize(part.per_round.len(), (0, 0));
+            }
+            for (slot, (msgs, bytes)) in merged.per_round.iter_mut().zip(&part.per_round) {
+                slot.0 += msgs;
+                slot.1 += bytes;
+            }
+            if merged.per_round_elapsed.len() < part.per_round_elapsed.len() {
+                merged
+                    .per_round_elapsed
+                    .resize(part.per_round_elapsed.len(), Duration::ZERO);
+            }
+            for (slot, sample) in merged
+                .per_round_elapsed
+                .iter_mut()
+                .zip(&part.per_round_elapsed)
+            {
+                *slot = (*slot).max(*sample);
+            }
+            merged.elapsed = merged.elapsed.max(part.elapsed);
+        }
+        merged.active_rounds = merged.per_round.iter().filter(|(m, _)| *m > 0).count();
+        merged
+    }
+}
+
+// Metrics cross process boundaries in the threshold-signing service
+// (each player ships its local view to the front-end for merging), so
+// they get a canonical encoding like any other protocol value.
+impl Wire for Metrics {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.active_rounds as u64).encode_to(out);
+        (self.total_rounds as u64).encode_to(out);
+        (self.messages as u64).encode_to(out);
+        (self.bytes as u64).encode_to(out);
+        let by_player: Vec<(PlayerId, u64)> = self
+            .bytes_by_player
+            .iter()
+            .map(|(p, b)| (*p, *b as u64))
+            .collect();
+        by_player.encode_to(out);
+        let per_round: Vec<(u64, u64)> = self
+            .per_round
+            .iter()
+            .map(|(m, b)| (*m as u64, *b as u64))
+            .collect();
+        per_round.encode_to(out);
+        (self.elapsed.as_nanos() as u64).encode_to(out);
+        let per_round_elapsed: Vec<u64> = self
+            .per_round_elapsed
+            .iter()
+            .map(|d| d.as_nanos() as u64)
+            .collect();
+        per_round_elapsed.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let active_rounds = u64::decode(input)? as usize;
+        let total_rounds = u64::decode(input)? as usize;
+        let messages = u64::decode(input)? as usize;
+        let bytes = u64::decode(input)? as usize;
+        let by_player = Vec::<(PlayerId, u64)>::decode(input)?;
+        let per_round = Vec::<(u64, u64)>::decode(input)?;
+        let elapsed = Duration::from_nanos(u64::decode(input)?);
+        let per_round_elapsed = Vec::<u64>::decode(input)?;
+        Ok(Metrics {
+            active_rounds,
+            total_rounds,
+            messages,
+            bytes,
+            bytes_by_player: by_player
+                .into_iter()
+                .map(|(p, b)| (p, b as usize))
+                .collect(),
+            per_round: per_round
+                .into_iter()
+                .map(|(m, b)| (m as usize, b as usize))
+                .collect(),
+            elapsed,
+            per_round_elapsed: per_round_elapsed
+                .into_iter()
+                .map(Duration::from_nanos)
+                .collect(),
+        })
+    }
 }
 
 /// Errors from a transport run.
@@ -227,18 +339,24 @@ pub enum TransportKind {
     Lockstep,
     /// [`ChannelTransport`] with the given fault policy.
     Channel(DeliveryPolicy),
+    /// An in-process mesh of [`TcpTransport`]s over real loopback
+    /// sockets (one thread and one ephemeral `127.0.0.1` port per
+    /// player) with the given fault policy — every driver and
+    /// fault-injection test runs unchanged over the real socket path.
+    TcpLoopback(DeliveryPolicy),
 }
 
 /// Runs a set of players over the selected transport to completion.
 ///
 /// # Errors
 ///
-/// See [`LockstepTransport::run`] / [`ChannelTransport::run`].
+/// See [`LockstepTransport::run`] / [`ChannelTransport::run`] /
+/// [`TcpTransport::run`]; everything unifies into [`Error`].
 pub fn run_protocol<M: Wire + Clone, O: Send>(
     kind: &TransportKind,
     players: Vec<BoxedPlayer<M, O>>,
     max_rounds: usize,
-) -> Result<(BTreeMap<PlayerId, O>, Metrics), SimError> {
+) -> Result<(BTreeMap<PlayerId, O>, Metrics), Error> {
     match kind {
         TransportKind::Lockstep => {
             let mut transport = LockstepTransport::new(players)?;
@@ -249,6 +367,9 @@ pub fn run_protocol<M: Wire + Clone, O: Send>(
             let mut transport = ChannelTransport::new(players, policy.clone())?;
             let outputs = transport.run(max_rounds)?;
             Ok((outputs, transport.metrics().clone()))
+        }
+        TransportKind::TcpLoopback(policy) => {
+            tcp::run_tcp_loopback(players, policy.clone(), max_rounds)
         }
     }
 }
@@ -357,7 +478,7 @@ mod tests {
     }
 
     #[test]
-    fn run_protocol_dispatches_both_kinds() {
+    fn run_protocol_dispatches_all_kinds() {
         let (out, metrics) = run_protocol(&TransportKind::Lockstep, summers(3), 10).unwrap();
         let (out2, metrics2) = run_protocol(
             &TransportKind::Channel(DeliveryPolicy::reliable()),
@@ -367,6 +488,70 @@ mod tests {
         .unwrap();
         assert_eq!(out, out2);
         assert!(metrics.same_traffic(&metrics2));
+        // The real-socket mesh produces the same outputs and — merged
+        // across players — byte-identical traffic metrics (the parity
+        // gate of the TCP transport).
+        let (out3, metrics3) = run_protocol(
+            &TransportKind::TcpLoopback(DeliveryPolicy::reliable()),
+            summers(3),
+            10,
+        )
+        .unwrap();
+        assert_eq!(out, out3);
+        assert!(
+            metrics.same_traffic(&metrics3),
+            "lockstep {:?} vs tcp {:?}",
+            metrics,
+            metrics3
+        );
+    }
+
+    #[test]
+    fn metrics_merge_sums_traffic_and_maxes_time() {
+        let a = Metrics {
+            active_rounds: 1,
+            total_rounds: 2,
+            messages: 3,
+            bytes: 30,
+            bytes_by_player: [(1, 30)].into_iter().collect(),
+            per_round: vec![(3, 30), (0, 0)],
+            elapsed: Duration::from_millis(5),
+            per_round_elapsed: vec![Duration::from_millis(4), Duration::from_millis(1)],
+        };
+        let b = Metrics {
+            active_rounds: 2,
+            total_rounds: 3,
+            messages: 2,
+            bytes: 20,
+            bytes_by_player: [(2, 20)].into_iter().collect(),
+            per_round: vec![(1, 10), (1, 10), (0, 0)],
+            elapsed: Duration::from_millis(7),
+            per_round_elapsed: vec![
+                Duration::from_millis(2),
+                Duration::from_millis(3),
+                Duration::from_millis(2),
+            ],
+        };
+        let merged = Metrics::merge([&a, &b]);
+        assert_eq!(merged.messages, 5);
+        assert_eq!(merged.bytes, 50);
+        assert_eq!(merged.total_rounds, 3);
+        assert_eq!(merged.per_round, vec![(4, 40), (1, 10), (0, 0)]);
+        assert_eq!(merged.active_rounds, 2);
+        assert_eq!(merged.bytes_by_player[&1], 30);
+        assert_eq!(merged.bytes_by_player[&2], 20);
+        assert_eq!(merged.elapsed, Duration::from_millis(7));
+        assert_eq!(merged.per_round_elapsed[0], Duration::from_millis(4));
+        assert_eq!(merged.per_round_elapsed[1], Duration::from_millis(3));
+    }
+
+    #[test]
+    fn metrics_roundtrip_on_the_wire() {
+        let mut sim = LockstepTransport::new(summers(4)).unwrap();
+        sim.run(10).unwrap();
+        let m = sim.metrics().clone();
+        let decoded = Metrics::decode_exact(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
     }
 
     #[test]

@@ -1,0 +1,996 @@
+//! The TCP transport: one player per [`TcpTransport`], real
+//! `std::net::TcpStream` sockets between players — the transport that
+//! lets a protocol run span OS processes and machines.
+//!
+//! ## Mesh formation
+//!
+//! Every player knows the listen address of every peer. Connections are
+//! keyed by player id: the **higher** id dials the **lower** id (with
+//! retry-and-backoff, so start order does not matter), and a
+//! [`Envelope::Hello`]/[`Envelope::HelloAck`] handshake pins who is on
+//! each end before any protocol byte flows. One acceptor loop collects
+//! the inbound half of the mesh while the dials proceed; after that,
+//! one reader thread per peer turns the socket into decoded
+//! [`Envelope`]s (the same scoped-thread discipline as
+//! [`borndist_parallel`]'s workers).
+//!
+//! ## Rounds over sockets
+//!
+//! The paper's protocols are round-based, so the transport recreates the
+//! lockstep barrier with explicit markers: all of a round's payload
+//! envelopes are followed by [`Envelope::EndRound`] on every link, and a
+//! player enters round `r + 1` once every live peer has closed round
+//! `r`. TCP's per-link ordering makes that exact — a peer can run at
+//! most one round ahead, and early frames are parked per round until
+//! their barrier opens. A player that terminates sends
+//! [`Envelope::Finished`] (which satisfies every future barrier) and a
+//! peer whose socket dies or that stays silent past the round timeout is
+//! treated as crashed: its traffic simply stops, which is exactly the
+//! fault the protocols' complaint machinery absorbs.
+//!
+//! ## Fault injection and metering
+//!
+//! The same [`DeliveryPolicy`] drives fault injection, applied
+//! sender-side exactly like the shared router: frames are metered at
+//! their real encoded length *before* tampering, loss-shaped faults act
+//! only on private links, and broadcast loops back to the sender
+//! locally. Decisions come from a per-sender RNG derived from
+//! `(seed, id)` — deterministic per seed, though not draw-for-draw
+//! identical to the single-process router's global sequence. Under a
+//! reliable policy no randomness is consumed at all, so a run's merged
+//! [`Metrics`] (see [`Metrics::merge`]) are **byte-identical** to the
+//! same protocol over [`crate::ChannelTransport`] — the cross-process
+//! parity gate CI enforces.
+
+use crate::error::{Error, TcpError};
+use crate::frame::{decode_frame, encode_frame};
+use crate::policy::DeliveryPolicy;
+use crate::{BoxedPlayer, Delivered, Metrics, PlayerId, Recipient, RoundAction, SimError};
+use borndist_pairing::codec::{CodecError, Wire};
+use borndist_parallel::{with_parallelism, Parallelism};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Hard cap on a length-prefixed envelope — the pre-allocation guard
+/// against adversarial length prefixes (mirrors the `Vec<T>` decoder's
+/// `BadLength` check one layer down).
+pub const MAX_ENVELOPE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Tuning knobs of a TCP mesh.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// Fault injection, identical semantics to the in-process router.
+    pub policy: DeliveryPolicy,
+    /// Dial attempts per peer before giving up.
+    pub dial_attempts: u32,
+    /// Initial dial backoff (doubles per attempt).
+    pub dial_backoff: Duration,
+    /// Backoff ceiling.
+    pub dial_backoff_max: Duration,
+    /// How long the acceptor waits for the full inbound mesh.
+    pub accept_timeout: Duration,
+    /// A live peer silent past this deadline is treated as crashed.
+    pub round_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            policy: DeliveryPolicy::reliable(),
+            dial_attempts: 40,
+            dial_backoff: Duration::from_millis(5),
+            dial_backoff_max: Duration::from_millis(500),
+            accept_timeout: Duration::from_secs(30),
+            round_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl TcpOptions {
+    /// Default options with the given fault policy.
+    pub fn with_policy(policy: DeliveryPolicy) -> Self {
+        TcpOptions {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// What actually crosses a socket: a length-prefixed, strictly decoded
+/// control-or-payload record. Protocol frames travel opaque inside
+/// [`Envelope::Payload`] — the transport never interprets them, each
+/// recipient decodes independently (decode-validate-then-process).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    /// Dialer's first word: who is calling, and whom it thinks it
+    /// reached.
+    Hello {
+        /// The dialing player.
+        from: PlayerId,
+        /// The id the dialer expects on this end.
+        to: PlayerId,
+    },
+    /// Acceptor's reply, confirming its identity.
+    HelloAck {
+        /// The accepting player.
+        from: PlayerId,
+    },
+    /// One protocol frame sent in `round`.
+    Payload {
+        /// The sender's round number.
+        round: u32,
+        /// `true` for the broadcast channel, `false` for private.
+        broadcast: bool,
+        /// The versioned protocol frame ([`crate::frame`]).
+        frame: Vec<u8>,
+    },
+    /// The sender has emitted everything it will send in `round`.
+    EndRound {
+        /// The closed round.
+        round: u32,
+    },
+    /// The sender terminated in `round`; satisfies every later barrier.
+    Finished {
+        /// The terminal round.
+        round: u32,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_HELLO_ACK: u8 = 1;
+const TAG_PAYLOAD: u8 = 2;
+const TAG_END_ROUND: u8 = 3;
+const TAG_FINISHED: u8 = 4;
+
+impl Wire for Envelope {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Envelope::Hello { from, to } => {
+                out.push(TAG_HELLO);
+                from.encode_to(out);
+                to.encode_to(out);
+            }
+            Envelope::HelloAck { from } => {
+                out.push(TAG_HELLO_ACK);
+                from.encode_to(out);
+            }
+            Envelope::Payload {
+                round,
+                broadcast,
+                frame,
+            } => {
+                out.push(TAG_PAYLOAD);
+                round.encode_to(out);
+                out.push(u8::from(*broadcast));
+                frame.encode_to(out);
+            }
+            Envelope::EndRound { round } => {
+                out.push(TAG_END_ROUND);
+                round.encode_to(out);
+            }
+            Envelope::Finished { round } => {
+                out.push(TAG_FINISHED);
+                round.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            TAG_HELLO => Ok(Envelope::Hello {
+                from: u32::decode(input)?,
+                to: u32::decode(input)?,
+            }),
+            TAG_HELLO_ACK => Ok(Envelope::HelloAck {
+                from: u32::decode(input)?,
+            }),
+            TAG_PAYLOAD => Ok(Envelope::Payload {
+                round: u32::decode(input)?,
+                broadcast: match u8::decode(input)? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(CodecError::InvalidTag(t)),
+                },
+                frame: Vec::<u8>::decode(input)?,
+            }),
+            TAG_END_ROUND => Ok(Envelope::EndRound {
+                round: u32::decode(input)?,
+            }),
+            TAG_FINISHED => Ok(Envelope::Finished {
+                round: u32::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
+
+/// Writes one length-prefixed envelope.
+fn write_envelope(stream: &mut TcpStream, env: &Envelope) -> std::io::Result<()> {
+    let body = env.encode();
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&body);
+    stream.write_all(&buf)
+}
+
+/// Reads one length-prefixed envelope, enforcing [`MAX_ENVELOPE_BYTES`].
+fn read_envelope(stream: &mut TcpStream) -> Result<Envelope, Error> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_ENVELOPE_BYTES {
+        return Err(TcpError::OversizedEnvelope {
+            declared: len,
+            max: MAX_ENVELOPE_BYTES,
+        }
+        .into());
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Envelope::decode_exact(&body)?)
+}
+
+/// Dials `addr` with exponential backoff — how a mesh member tolerates
+/// peers that have not bound their listener yet.
+///
+/// # Errors
+///
+/// [`TcpError::DialFailed`] after `attempts` failed connections.
+pub fn dial_with_backoff(
+    peer: PlayerId,
+    addr: SocketAddr,
+    attempts: u32,
+    mut backoff: Duration,
+    backoff_max: Duration,
+) -> Result<TcpStream, TcpError> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts.max(1) {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(backoff_max);
+                }
+            }
+        }
+    }
+    Err(TcpError::DialFailed {
+        peer,
+        addr,
+        attempts: attempts.max(1),
+        last: last.expect("at least one attempt"),
+    })
+}
+
+/// Per-sender fault RNG: deterministic per `(seed, id)`, so a
+/// distributed run replays exactly — without requiring the global draw
+/// order only a single-process router can have.
+fn sender_rng(seed: u64, id: PlayerId) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x7c9_0000_0000u64 | u64::from(id)).rotate_left(17))
+}
+
+fn chance(rng: &mut StdRng, p: f64) -> bool {
+    p > 0.0 && (rng.next_u64() as f64 / u64::MAX as f64) < p
+}
+
+/// Collects the inbound half of the mesh: accepts until every expected
+/// higher-id peer has completed the Hello/HelloAck handshake or the
+/// deadline passes. Stray or misaddressed connections are dropped
+/// without killing the mesh.
+fn accept_mesh(
+    listener: TcpListener,
+    me: PlayerId,
+    expected: BTreeSet<PlayerId>,
+    deadline: Instant,
+) -> Result<BTreeMap<PlayerId, TcpStream>, TcpError> {
+    let mut accepted: BTreeMap<PlayerId, TcpStream> = BTreeMap::new();
+    listener.set_nonblocking(true)?;
+    while accepted.len() < expected.len() {
+        if Instant::now() >= deadline {
+            let missing: Vec<PlayerId> = expected
+                .iter()
+                .filter(|p| !accepted.contains_key(p))
+                .copied()
+                .collect();
+            return Err(TcpError::AcceptTimeout { missing });
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // The accepted socket must be blocking regardless of
+                // what it inherited from the nonblocking listener.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                match read_envelope(&mut stream) {
+                    Ok(Envelope::Hello { from, to })
+                        if to == me
+                            && expected.contains(&from)
+                            && !accepted.contains_key(&from) =>
+                    {
+                        if write_envelope(&mut stream, &Envelope::HelloAck { from: me }).is_ok() {
+                            stream.set_read_timeout(None)?;
+                            accepted.insert(from, stream);
+                        }
+                    }
+                    // Wrong target, unknown or duplicate id, malformed
+                    // hello: drop the connection and keep accepting.
+                    _ => drop(stream),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(TcpError::Io(e)),
+        }
+    }
+    Ok(accepted)
+}
+
+/// An event surfaced by a reader thread.
+enum Event {
+    Env(PlayerId, Envelope),
+    Gone(PlayerId),
+}
+
+/// A parked inbound frame, keyed by the round it belongs to.
+struct Parked {
+    from: PlayerId,
+    broadcast: bool,
+    frame: Vec<u8>,
+}
+
+/// Drives **one** player of a protocol over a TCP mesh. The other
+/// players live in other transports — other threads
+/// ([`crate::TransportKind::TcpLoopback`]), other processes (the
+/// signing daemon), or other machines.
+pub struct TcpTransport<M, O> {
+    player: BoxedPlayer<M, O>,
+    id: PlayerId,
+    /// Write halves, one per peer, keyed by id.
+    streams: BTreeMap<PlayerId, TcpStream>,
+    options: TcpOptions,
+}
+
+impl<M: Wire, O> TcpTransport<M, O> {
+    /// Binds `listen` and joins the mesh described by `peers`
+    /// (id → address of every *other* player).
+    ///
+    /// # Errors
+    ///
+    /// Bind/dial/handshake failures as [`TcpError`] variants.
+    pub fn connect(
+        player: BoxedPlayer<M, O>,
+        listen: SocketAddr,
+        peers: BTreeMap<PlayerId, SocketAddr>,
+        options: TcpOptions,
+    ) -> Result<Self, Error> {
+        let listener = TcpListener::bind(listen)?;
+        Self::connect_with_listener(player, listener, peers, options)
+    }
+
+    /// [`Self::connect`] with a pre-bound listener (lets a caller bind
+    /// port 0 first and publish the real address).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::connect`].
+    pub fn connect_with_listener(
+        player: BoxedPlayer<M, O>,
+        listener: TcpListener,
+        peers: BTreeMap<PlayerId, SocketAddr>,
+        options: TcpOptions,
+    ) -> Result<Self, Error> {
+        let id = player.id();
+        if peers.contains_key(&id) {
+            return Err(SimError::DuplicatePlayer(id).into());
+        }
+        // The higher id dials; the lower id accepts.
+        let expected_inbound: BTreeSet<PlayerId> =
+            peers.keys().copied().filter(|p| *p > id).collect();
+        let to_dial: Vec<(PlayerId, SocketAddr)> = peers
+            .iter()
+            .filter(|(p, _)| **p < id)
+            .map(|(p, a)| (*p, *a))
+            .collect();
+
+        let acceptor = {
+            let expected = expected_inbound.clone();
+            let deadline = Instant::now() + options.accept_timeout;
+            std::thread::spawn(move || accept_mesh(listener, id, expected, deadline))
+        };
+
+        let mut streams = BTreeMap::new();
+        for (peer, addr) in to_dial {
+            let mut stream = dial_with_backoff(
+                peer,
+                addr,
+                options.dial_attempts,
+                options.dial_backoff,
+                options.dial_backoff_max,
+            )?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(options.accept_timeout))?;
+            write_envelope(&mut stream, &Envelope::Hello { from: id, to: peer })?;
+            match read_envelope(&mut stream) {
+                Ok(Envelope::HelloAck { from }) if from == peer => {}
+                Ok(other) => {
+                    return Err(TcpError::Handshake {
+                        peer,
+                        reason: format!("expected HelloAck from {}, got {:?}", peer, other),
+                    }
+                    .into())
+                }
+                Err(e) => {
+                    return Err(TcpError::Handshake {
+                        peer,
+                        reason: format!("handshake read failed: {}", e),
+                    }
+                    .into())
+                }
+            }
+            stream.set_read_timeout(None)?;
+            streams.insert(peer, stream);
+        }
+
+        let inbound = acceptor
+            .join()
+            .expect("acceptor thread panicked")
+            .map_err(Error::Tcp)?;
+        streams.extend(inbound);
+
+        Ok(TcpTransport {
+            player,
+            id,
+            streams,
+            options,
+        })
+    }
+
+    /// Runs this player to completion, returning its output and the
+    /// **local** metrics (this player's sends only — merge across the
+    /// mesh with [`Metrics::merge`] for the global view).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if the player is still running
+    /// after `max_rounds`; [`SimError::UnknownRecipient`] on a
+    /// misaddressed frame; socket failures during the run are treated as
+    /// peer crashes, not errors.
+    pub fn run(mut self, max_rounds: usize) -> Result<(O, Metrics), Error> {
+        let (event_tx, event_rx) = mpsc::channel::<Event>();
+        let mut reader_streams: Vec<(PlayerId, TcpStream)> = Vec::new();
+        for (pid, stream) in &self.streams {
+            reader_streams.push((*pid, stream.try_clone()?));
+        }
+
+        let result = std::thread::scope(|scope| {
+            for (pid, mut stream) in reader_streams {
+                let tx = event_tx.clone();
+                scope.spawn(move || loop {
+                    match read_envelope(&mut stream) {
+                        Ok(env) => {
+                            if tx.send(Event::Env(pid, env)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = tx.send(Event::Gone(pid));
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(event_tx);
+
+            let out = self.drive(max_rounds, &event_rx);
+            // Unblock the reader threads whatever happened: once every
+            // socket is shut down they hit EOF and exit, so the scope
+            // join cannot deadlock (and peers see the disconnect instead
+            // of waiting out their round timeout on a wedged mesh).
+            for stream in self.streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            drop(event_rx);
+            out
+        });
+
+        result
+    }
+
+    /// The round engine (runs on the caller's thread).
+    fn drive(
+        &mut self,
+        max_rounds: usize,
+        events: &mpsc::Receiver<Event>,
+    ) -> Result<(O, Metrics), Error> {
+        let policy = self.options.policy.clone();
+        let mut metrics = Metrics::default();
+        let mut send_rng = sender_rng(policy.seed, self.id);
+        // Frames parked for a future round's barrier.
+        let mut pending: BTreeMap<u32, Vec<Parked>> = BTreeMap::new();
+        // Highest round each peer has closed with EndRound.
+        let mut closed: BTreeMap<PlayerId, Option<u32>> =
+            self.streams.keys().map(|p| (*p, None)).collect();
+        let mut finished: BTreeSet<PlayerId> = BTreeSet::new();
+        let mut gone: BTreeSet<PlayerId> = BTreeSet::new();
+        let run_start = Instant::now();
+
+        for round in 0..max_rounds {
+            let round_start = Instant::now();
+            let r32 = round as u32;
+
+            // Assemble this round's inbox: everything parked at the
+            // barrier, plus local self-deliveries, in sender-id order
+            // (matching the in-process transports' registration order —
+            // our drivers register players in ascending id order).
+            let mut parked = pending.remove(&r32).unwrap_or_default();
+            parked.sort_by_key(|p| p.from);
+            if policy.reorder {
+                // Receiver-side shuffle, deterministic per (seed, id,
+                // round) — same guarantees as the router's per-inbox
+                // Fisher–Yates.
+                let mut rng = StdRng::seed_from_u64(
+                    policy.seed ^ u64::from(r32).rotate_left(32) ^ u64::from(self.id),
+                );
+                for i in (1..parked.len()).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    parked.swap(i, j);
+                }
+            }
+            let inbox: Vec<Delivered<M>> = parked
+                .into_iter()
+                .map(|p| Delivered {
+                    from: p.from,
+                    broadcast: p.broadcast,
+                    msg: decode_frame(&p.frame),
+                })
+                .collect();
+
+            // Advance the state machine, pinned sequential like the
+            // channel transport's workers so nested parallel primitives
+            // never oversubscribe the machine.
+            let action =
+                with_parallelism(Parallelism::Sequential, || self.player.round(round, &inbox));
+
+            match action {
+                RoundAction::Finish(out) => {
+                    metrics.per_round.push((0, 0));
+                    metrics.per_round_elapsed.push(round_start.elapsed());
+                    metrics.total_rounds += 1;
+                    metrics.elapsed = run_start.elapsed();
+                    self.broadcast_control(&Envelope::Finished { round: r32 }, &finished, &gone);
+                    return Ok((out, metrics));
+                }
+                RoundAction::Continue(outgoing) => {
+                    let mut round_msgs = 0usize;
+                    let mut round_bytes = 0usize;
+                    for out in outgoing {
+                        let mut frame = encode_frame(&out.msg);
+                        // Meter sender-side at the real encoded length,
+                        // before fault injection — identical to the
+                        // shared router.
+                        round_msgs += 1;
+                        round_bytes += frame.len();
+                        *metrics.bytes_by_player.entry(self.id).or_insert(0) += frame.len();
+                        policy.tamper_frame(round, self.id, &mut frame);
+
+                        match out.to {
+                            Recipient::Broadcast => {
+                                pending.entry(r32 + 1).or_default().push(Parked {
+                                    from: self.id,
+                                    broadcast: true,
+                                    frame: frame.clone(),
+                                });
+                                self.fan_out(
+                                    &Envelope::Payload {
+                                        round: r32,
+                                        broadcast: true,
+                                        frame,
+                                    },
+                                    &finished,
+                                    &mut gone,
+                                );
+                            }
+                            Recipient::Private(to) => {
+                                if to != self.id && !self.streams.contains_key(&to) {
+                                    return Err(SimError::UnknownRecipient(to).into());
+                                }
+                                if !policy.link_up(round, self.id, to) {
+                                    continue;
+                                }
+                                let dropped = chance(&mut send_rng, policy.drop_rate);
+                                let duplicated =
+                                    !dropped && chance(&mut send_rng, policy.duplicate_rate);
+                                if dropped {
+                                    continue;
+                                }
+                                let copies = if duplicated { 2 } else { 1 };
+                                for _ in 0..copies {
+                                    if to == self.id {
+                                        pending.entry(r32 + 1).or_default().push(Parked {
+                                            from: self.id,
+                                            broadcast: false,
+                                            frame: frame.clone(),
+                                        });
+                                    } else if !finished.contains(&to) && !gone.contains(&to) {
+                                        self.send_to(
+                                            to,
+                                            &Envelope::Payload {
+                                                round: r32,
+                                                broadcast: false,
+                                                frame: frame.clone(),
+                                            },
+                                            &mut gone,
+                                        );
+                                    }
+                                    // A private frame to a finished peer
+                                    // is metered but silently dropped —
+                                    // its recipient legitimately left.
+                                }
+                            }
+                        }
+                    }
+                    metrics.messages += round_msgs;
+                    metrics.bytes += round_bytes;
+                    metrics.per_round.push((round_msgs, round_bytes));
+                    if round_msgs > 0 {
+                        metrics.active_rounds += 1;
+                    }
+                    self.broadcast_control(&Envelope::EndRound { round: r32 }, &finished, &gone);
+                }
+            }
+
+            // Barrier: wait until every live peer has closed this round
+            // (EndRound), terminated (Finished), or died (socket EOF or
+            // round timeout).
+            let deadline = Instant::now() + self.options.round_timeout;
+            loop {
+                let waiting: Vec<PlayerId> = closed
+                    .iter()
+                    .filter(|(p, c)| {
+                        !finished.contains(p)
+                            && !gone.contains(p)
+                            && !matches!(c, Some(done) if *done >= r32)
+                    })
+                    .map(|(p, _)| *p)
+                    .collect();
+                if waiting.is_empty() {
+                    break;
+                }
+                let budget = deadline.saturating_duration_since(Instant::now());
+                if budget.is_zero() {
+                    // Silent peers past the deadline are crashed as far
+                    // as this round is concerned; the complaint/timeout
+                    // machinery upstairs deals with their absence.
+                    gone.extend(waiting);
+                    break;
+                }
+                match events.recv_timeout(budget) {
+                    Ok(Event::Env(pid, env)) => match env {
+                        Envelope::Payload {
+                            round: pr,
+                            broadcast,
+                            frame,
+                        } => {
+                            // A round-`pr` payload belongs to the
+                            // round-`pr + 1` inbox (sent in `pr`,
+                            // delivered at the next barrier). Frames for
+                            // rounds already closed here — a straggler
+                            // after a timeout verdict — are dropped.
+                            if pr >= r32 {
+                                pending.entry(pr + 1).or_default().push(Parked {
+                                    from: pid,
+                                    broadcast,
+                                    frame,
+                                });
+                            }
+                        }
+                        Envelope::EndRound { round: pr } => {
+                            let entry = closed.entry(pid).or_insert(None);
+                            *entry = Some(entry.map_or(pr, |c| c.max(pr)));
+                        }
+                        Envelope::Finished { .. } => {
+                            finished.insert(pid);
+                        }
+                        // Handshake words after the mesh is up are a
+                        // protocol violation; ignore them.
+                        Envelope::Hello { .. } | Envelope::HelloAck { .. } => {}
+                    },
+                    Ok(Event::Gone(pid)) => {
+                        gone.insert(pid);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // All reader threads exited: every peer is gone.
+                        gone.extend(waiting);
+                        break;
+                    }
+                }
+            }
+
+            metrics.per_round_elapsed.push(round_start.elapsed());
+            metrics.total_rounds += 1;
+            metrics.elapsed = run_start.elapsed();
+        }
+
+        Err(SimError::RoundLimitExceeded {
+            limit: max_rounds,
+            unfinished: vec![self.id],
+        }
+        .into())
+    }
+
+    /// Writes a control envelope to every live peer.
+    fn broadcast_control(
+        &mut self,
+        env: &Envelope,
+        finished: &BTreeSet<PlayerId>,
+        gone: &BTreeSet<PlayerId>,
+    ) {
+        let targets: Vec<PlayerId> = self
+            .streams
+            .keys()
+            .filter(|p| !finished.contains(p) && !gone.contains(p))
+            .copied()
+            .collect();
+        for pid in targets {
+            if let Some(stream) = self.streams.get_mut(&pid) {
+                let _ = write_envelope(stream, env);
+            }
+        }
+    }
+
+    /// Fans a payload out to every live peer (the broadcast channel).
+    fn fan_out(&mut self, env: &Envelope, finished: &BTreeSet<PlayerId>, gone: &mut BTreeSet<u32>) {
+        let targets: Vec<PlayerId> = self
+            .streams
+            .keys()
+            .filter(|p| !finished.contains(p) && !gone.contains(p))
+            .copied()
+            .collect();
+        for pid in targets {
+            self.send_to(pid, env, gone);
+        }
+    }
+
+    /// Writes to one peer; a failed write marks the peer crashed (its
+    /// reader thread will confirm with an EOF event).
+    fn send_to(&mut self, pid: PlayerId, env: &Envelope, gone: &mut BTreeSet<PlayerId>) {
+        if let Some(stream) = self.streams.get_mut(&pid) {
+            if write_envelope(stream, env).is_err() {
+                gone.insert(pid);
+            }
+        }
+    }
+}
+
+/// Runs a whole player set as an in-process TCP mesh on loopback: one
+/// thread per player, each a full [`TcpTransport`] with real sockets and
+/// ephemeral ports — how `TransportKind::TcpLoopback` lets every
+/// existing driver and fault-injection test run over the real socket
+/// path unchanged.
+pub(crate) fn run_tcp_loopback<M: Wire, O: Send>(
+    players: Vec<BoxedPlayer<M, O>>,
+    policy: DeliveryPolicy,
+    max_rounds: usize,
+) -> Result<(BTreeMap<PlayerId, O>, Metrics), Error> {
+    crate::check_unique_ids(&players)?;
+    // Bind every listener up front so the mesh addresses are known
+    // before any player dials.
+    let mut listeners: BTreeMap<PlayerId, TcpListener> = BTreeMap::new();
+    let mut addrs: BTreeMap<PlayerId, SocketAddr> = BTreeMap::new();
+    for player in &players {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.insert(player.id(), listener.local_addr()?);
+        listeners.insert(player.id(), listener);
+    }
+
+    let results: Vec<Result<(PlayerId, O, Metrics), Error>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = players
+            .into_iter()
+            .map(|player| {
+                let id = player.id();
+                let listener = listeners.remove(&id).expect("listener bound above");
+                let peers: BTreeMap<PlayerId, SocketAddr> = addrs
+                    .iter()
+                    .filter(|(p, _)| **p != id)
+                    .map(|(p, a)| (*p, *a))
+                    .collect();
+                let options = TcpOptions::with_policy(policy.clone());
+                scope.spawn(move || {
+                    let transport =
+                        TcpTransport::connect_with_listener(player, listener, peers, options)?;
+                    let (out, metrics) = transport.run(max_rounds)?;
+                    Ok((id, out, metrics))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mesh player thread panicked"))
+            .collect()
+    });
+
+    let mut outputs = BTreeMap::new();
+    let mut locals = Vec::new();
+    for result in results {
+        let (id, out, metrics) = result?;
+        outputs.insert(id, out);
+        locals.push(metrics);
+    }
+    Ok((outputs, Metrics::merge(locals.iter())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outgoing, Protocol};
+
+    #[test]
+    fn envelope_roundtrip() {
+        for env in [
+            Envelope::Hello { from: 3, to: 1 },
+            Envelope::HelloAck { from: 1 },
+            Envelope::Payload {
+                round: 7,
+                broadcast: true,
+                frame: vec![1, 2, 3],
+            },
+            Envelope::EndRound { round: 9 },
+            Envelope::Finished { round: 2 },
+        ] {
+            assert_eq!(Envelope::decode_exact(&env.encode()).unwrap(), env);
+        }
+        assert!(matches!(
+            Envelope::decode_exact(&[9]),
+            Err(CodecError::InvalidTag(9))
+        ));
+        // Non-boolean broadcast flag is rejected.
+        let mut bytes = Envelope::Payload {
+            round: 0,
+            broadcast: false,
+            frame: vec![],
+        }
+        .encode();
+        bytes[5] = 2;
+        assert!(matches!(
+            Envelope::decode_exact(&bytes),
+            Err(CodecError::InvalidTag(2))
+        ));
+    }
+
+    #[test]
+    fn dial_backoff_waits_for_late_listener() {
+        // Reserve a port, free it, and only re-bind it after a delay —
+        // the dialer must ride its backoff schedule through the gap.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = TcpListener::bind(addr).unwrap();
+            let _ = listener.accept().unwrap();
+        });
+        let stream = dial_with_backoff(
+            1,
+            addr,
+            60,
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+        )
+        .expect("dial must succeed once the listener appears");
+        drop(stream);
+        listener.join().unwrap();
+    }
+
+    #[test]
+    fn dial_gives_up_with_context() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let err = dial_with_backoff(
+            5,
+            addr,
+            3,
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        )
+        .unwrap_err();
+        match err {
+            TcpError::DialFailed { peer, attempts, .. } => {
+                assert_eq!(peer, 5);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("unexpected error: {}", other),
+        }
+    }
+
+    /// Player 1 finishes (and closes its sockets) at round 1 while
+    /// players 2 and 3 keep exchanging frames until round 3: the
+    /// mid-round disconnect must read as *silence* — the survivors see
+    /// EOF, mark the peer gone, stop waiting for its round barriers,
+    /// and complete normally. This is the socket-level half of the
+    /// crash fault model; protocols translate the silence into
+    /// complaints/disqualification at their own layer.
+    #[test]
+    fn peer_disconnect_mid_round_reads_as_silence() {
+        struct Chatter {
+            id: PlayerId,
+            quit_after: usize,
+            from_one: usize,
+        }
+        impl Protocol for Chatter {
+            type Message = u64;
+            type Output = usize;
+            fn round(
+                &mut self,
+                round: usize,
+                inbox: &[crate::Delivered<u64>],
+            ) -> RoundAction<u64, usize> {
+                self.from_one += inbox.iter().filter(|d| d.from == 1).count();
+                if round >= self.quit_after {
+                    return RoundAction::Finish(self.from_one);
+                }
+                RoundAction::Continue(vec![Outgoing {
+                    to: Recipient::Broadcast,
+                    msg: self.id as u64 * 100 + round as u64,
+                }])
+            }
+            fn id(&self) -> PlayerId {
+                self.id
+            }
+        }
+
+        let players: Vec<BoxedPlayer<u64, usize>> = vec![
+            Box::new(Chatter {
+                id: 1,
+                quit_after: 1,
+                from_one: 0,
+            }),
+            Box::new(Chatter {
+                id: 2,
+                quit_after: 3,
+                from_one: 0,
+            }),
+            Box::new(Chatter {
+                id: 3,
+                quit_after: 3,
+                from_one: 0,
+            }),
+        ];
+        let (outputs, _) =
+            run_tcp_loopback(players, DeliveryPolicy::reliable(), 10).expect("mesh completes");
+        assert_eq!(outputs.len(), 3, "survivors and quitter all finish");
+        // Player 1 broadcast in rounds 0 only (it finished in round 1
+        // before sending more); each survivor therefore saw exactly one
+        // frame from it, and heard nothing after the disconnect.
+        assert_eq!(outputs[&2], 1);
+        assert_eq!(outputs[&3], 1);
+    }
+
+    #[test]
+    fn oversized_envelope_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(&(u32::MAX).to_be_bytes())
+                .expect("write length");
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_envelope(&mut stream).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Tcp(TcpError::OversizedEnvelope { .. })
+        ));
+        writer.join().unwrap();
+    }
+}

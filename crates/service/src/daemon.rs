@@ -1,0 +1,361 @@
+//! The three process modes of the `borndist-service` binary.
+//!
+//! * [`run_player`] — one signing node: DKG mesh, key assembly, then
+//!   the long-lived signing mesh.
+//! * [`run_frontend`] — the front-end: signing mesh plus the framed
+//!   client socket.
+//! * [`run_smoke`] — the CI gate: spawns a whole deployment as child
+//!   processes, pushes signing requests through it, and asserts the
+//!   merged cross-process DKG metrics are byte-identical to an
+//!   in-process [`borndist_net::ChannelTransport`] run of the same
+//!   protocol.
+
+use crate::{
+    read_frame, write_frame, ClientRequest, ClientResponse, ServiceCoordinator, ServiceOutcome,
+    ServicePlayer, Topology, DKG_ROUND_BUDGET, SIGN_ROUND_BUDGET,
+};
+use borndist_core::ro::ThresholdScheme;
+use borndist_dkg::dkg_players;
+use borndist_net::{
+    BoxedPlayer, DeliveryPolicy, PlayerId, TcpOptions, TcpTransport, TransportKind,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+
+/// Anything a daemon mode can die of.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A transport or protocol failure.
+    Net(borndist_net::Error),
+    /// A socket/process failure outside the mesh.
+    Io(std::io::Error),
+    /// A lifecycle invariant broke (DKG abort, parity mismatch, bad
+    /// child output, ...).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Net(e) => write!(f, "network: {}", e),
+            ServiceError::Io(e) => write!(f, "io: {}", e),
+            ServiceError::Protocol(s) => write!(f, "protocol: {}", s),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Net(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<borndist_net::Error> for ServiceError {
+    fn from(e: borndist_net::Error) -> Self {
+        ServiceError::Net(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+fn proto(msg: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(msg.into())
+}
+
+/// One signing node, start to finish: DKG over the TCP mesh, local key
+/// assembly, then the signing mesh until the front-end shuts the
+/// deployment down. Returns the number of sessions this node observed
+/// completing.
+pub fn run_player(top: &Topology, id: PlayerId) -> Result<usize, ServiceError> {
+    let n = top.params.n as PlayerId;
+    let scheme = ThresholdScheme::new(&top.domain);
+    let cfg = scheme.dkg_config(top.params);
+
+    // Phase 1: Pedersen DKG among the players only (ports dkg_base+i).
+    let mut players = dkg_players(&cfg, &BTreeMap::new(), top.seed);
+    let me = players.remove(id as usize - 1);
+    let transport = TcpTransport::connect(
+        me,
+        Topology::addr(top.dkg_base, id),
+        Topology::peers(top.dkg_base, id, n),
+        TcpOptions::default(),
+    )?;
+    let (output, dkg_metrics) = transport.run(DKG_ROUND_BUDGET)?;
+    let output =
+        output.map_err(|abort| proto(format!("player {}: DKG aborted: {:?}", id, abort)))?;
+    let km = scheme.key_material_from_output(top.params, id, &output);
+
+    // Phase 2: the signing mesh, now including the front-end at n+1.
+    let player = ServicePlayer::new(scheme, &km, id, dkg_metrics);
+    let transport = TcpTransport::connect(
+        Box::new(player) as BoxedPlayer<_, ServiceOutcome>,
+        Topology::addr(top.sign_base, id),
+        Topology::peers(top.sign_base, id, n + 1),
+        TcpOptions::default(),
+    )?;
+    let (outcome, _) = transport.run(SIGN_ROUND_BUDGET)?;
+    Ok(outcome.mux.signatures.len())
+}
+
+/// The front-end: joins the signing mesh as node `n+1`, accepts one
+/// framed client connection on `client_listener`, streams back
+/// [`ClientResponse::Signed`] frames, and answers the client's
+/// [`ClientRequest::Shutdown`] with a final [`ClientResponse::Summary`].
+///
+/// The listener's bound port is announced on stdout as
+/// `CLIENT_PORT <port>` so a parent process can connect.
+pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), ServiceError> {
+    let n = top.params.n as PlayerId;
+    let scheme = ThresholdScheme::new(&top.domain);
+
+    println!("CLIENT_PORT {}", client_listener.local_addr()?.port());
+    std::io::stdout().flush()?;
+
+    let (intake_tx, intake_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+    let (completed_tx, completed_rx) = mpsc::channel();
+    let coordinator = ServiceCoordinator::with_intake(
+        top.params.n,
+        scheme,
+        top.max_in_flight,
+        intake_rx,
+        completed_tx,
+    );
+
+    // The mesh runs on its own thread; the client socket is served here.
+    let mesh = {
+        let listen = Topology::addr(top.sign_base, n + 1);
+        let peers = Topology::peers(top.sign_base, n + 1, n);
+        let transport = TcpTransport::connect(
+            Box::new(coordinator) as BoxedPlayer<_, ServiceOutcome>,
+            listen,
+            peers,
+            TcpOptions::default(),
+        )?;
+        std::thread::spawn(move || transport.run(SIGN_ROUND_BUDGET))
+    };
+
+    let (client, _) = client_listener.accept()?;
+    let mut client_out = client.try_clone()?;
+
+    // Reader thread: client frames → intake. Dropping `intake_tx` when
+    // the client says Shutdown (or hangs up) is what lets the
+    // coordinator drain and close the whole mesh.
+    let reader = std::thread::spawn(move || {
+        let mut client = client;
+        // Shutdown frames, decode errors and hangups all end the stream.
+        while let Ok(ClientRequest::Sign { id, msg }) = read_frame(&mut client) {
+            if intake_tx.send((id, msg)).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Stream completed signatures back until the coordinator finishes
+    // (which drops its `completed` sender).
+    let mut served = 0u64;
+    for (id, sig) in completed_rx {
+        served += 1;
+        write_frame(&mut client_out, &ClientResponse::Signed { id, sig })?;
+    }
+
+    let (outcome, _metrics) = mesh
+        .join()
+        .map_err(|_| proto("signing mesh thread panicked"))??;
+    reader
+        .join()
+        .map_err(|_| proto("client reader thread panicked"))?;
+
+    let info = outcome
+        .ready
+        .ok_or_else(|| proto("front-end finished without Ready info"))?;
+    write_frame(
+        &mut client_out,
+        &ClientResponse::Summary {
+            public_key: info.public_key,
+            dkg_metrics: info.dkg_metrics,
+            high_water: outcome.mux.high_water as u64,
+            served,
+        },
+    )?;
+    Ok(())
+}
+
+/// Finds a block of `span` consecutive free loopback ports and returns
+/// its first port. Best-effort (the ports are released again before the
+/// children bind them), which is fine for a single-machine smoke run.
+pub fn free_port_block(span: u16) -> Result<u16, ServiceError> {
+    for _ in 0..64 {
+        let probe = TcpListener::bind(("127.0.0.1", 0))?;
+        let base = probe.local_addr()?.port();
+        drop(probe);
+        if base > u16::MAX - span - 2 {
+            continue;
+        }
+        let held: Vec<TcpListener> = (base..base + span)
+            .map_while(|p| TcpListener::bind(("127.0.0.1", p)).ok())
+            .collect();
+        if held.len() == span as usize {
+            return Ok(base);
+        }
+    }
+    Err(proto("no free loopback port block found"))
+}
+
+fn wait_ok(mut child: Child, what: &str) -> Result<(), ServiceError> {
+    let status = child.wait()?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(proto(format!("{} exited with {}", what, status)))
+    }
+}
+
+/// The multi-process smoke gate. Spawns `n` player processes and one
+/// front-end (children of the current executable), replays the same DKG
+/// in-process over a reliable [`borndist_net::ChannelTransport`], then:
+///
+/// * pushes `requests` signing requests through the client socket and
+///   verifies every signature against the *reference* public key;
+/// * asserts the deployment's merged DKG metrics are byte-identical to
+///   the in-process reference ([`borndist_net::Metrics::same_traffic`]);
+/// * asserts the backpressure high-water mark respected
+///   `max_in_flight`.
+pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
+    let n = top.params.n as PlayerId;
+    let scheme = ThresholdScheme::new(&top.domain);
+
+    // In-process reference run: same protocol, same seed, in one
+    // process over threaded channels.
+    let (km_ref, metrics_ref) = scheme
+        .keygen_session(
+            top.params,
+            &BTreeMap::new(),
+            top.seed,
+            &TransportKind::Channel(DeliveryPolicy::reliable()),
+        )
+        .map_err(|e| proto(format!("reference DKG failed: {}", e)))?;
+
+    let exe = std::env::current_exe()?;
+    let domain = String::from_utf8(top.domain.clone()).map_err(|_| proto("non-UTF-8 domain"))?;
+    let common = [
+        ("--n", top.params.n.to_string()),
+        ("--t", top.params.t.to_string()),
+        ("--seed", top.seed.to_string()),
+        ("--domain", domain),
+        ("--dkg-base", top.dkg_base.to_string()),
+        ("--sign-base", top.sign_base.to_string()),
+        ("--max-in-flight", top.max_in_flight.to_string()),
+    ];
+    let spawn = |mode: &str, extra: &[(&str, String)]| -> Result<Child, ServiceError> {
+        let mut cmd = Command::new(&exe);
+        cmd.arg(mode)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in common.iter().chain(extra) {
+            cmd.arg(k).arg(v);
+        }
+        Ok(cmd.spawn()?)
+    };
+
+    let players: Vec<Child> = (1..=n)
+        .map(|id| spawn("player", &[("--id", id.to_string())]))
+        .collect::<Result<_, _>>()?;
+    let mut frontend = spawn("frontend", &[("--client-port", "0".into())])?;
+
+    // Learn the client port from the front-end's stdout.
+    let mut fe_stdout = BufReader::new(frontend.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    fe_stdout.read_line(&mut line)?;
+    let port: u16 = line
+        .trim()
+        .strip_prefix("CLIENT_PORT ")
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| proto(format!("bad front-end banner: {:?}", line)))?;
+
+    let mut client = TcpStream::connect(("127.0.0.1", port))?;
+    let mut client_in = client.try_clone()?;
+
+    // Pipeline all requests, then collect all signatures.
+    for id in 0..requests {
+        write_frame(
+            &mut client,
+            &ClientRequest::Sign {
+                id,
+                msg: format!("smoke request {}", id).into_bytes(),
+            },
+        )?;
+    }
+    let mut signatures = BTreeMap::new();
+    while signatures.len() < requests as usize {
+        match read_frame::<ClientResponse, _>(&mut client_in)? {
+            ClientResponse::Signed { id, sig } => {
+                signatures.insert(id, sig);
+            }
+            ClientResponse::Summary { .. } => return Err(proto("Summary before Shutdown")),
+        }
+    }
+    for (id, sig) in &signatures {
+        let msg = format!("smoke request {}", id).into_bytes();
+        if !scheme.verify(&km_ref.public_key, &msg, sig) {
+            return Err(proto(format!("request {} signature invalid", id)));
+        }
+    }
+
+    write_frame(&mut client, &ClientRequest::Shutdown)?;
+    let summary = read_frame::<ClientResponse, _>(&mut client_in)?;
+    let ClientResponse::Summary {
+        public_key,
+        dkg_metrics,
+        high_water,
+        served,
+    } = summary
+    else {
+        return Err(proto("expected Summary after Shutdown"));
+    };
+
+    if public_key != km_ref.public_key {
+        return Err(proto("deployment public key differs from reference"));
+    }
+    if !dkg_metrics.same_traffic(&metrics_ref) {
+        return Err(proto(format!(
+            "DKG metrics parity broken: tcp {:?} vs channel {:?}",
+            dkg_metrics, metrics_ref
+        )));
+    }
+    if high_water as usize > top.max_in_flight {
+        return Err(proto(format!(
+            "backpressure violated: high water {} > bound {}",
+            high_water, top.max_in_flight
+        )));
+    }
+    if served != requests {
+        return Err(proto(format!("served {} of {} requests", served, requests)));
+    }
+
+    for (i, child) in players.into_iter().enumerate() {
+        wait_ok(child, &format!("player {}", i + 1))?;
+    }
+    wait_ok(frontend, "frontend")?;
+
+    println!(
+        "SMOKE OK: {} requests signed by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}",
+        requests,
+        n + 1,
+        dkg_metrics.messages,
+        dkg_metrics.bytes,
+        high_water,
+        top.max_in_flight,
+    );
+    Ok(())
+}

@@ -1,0 +1,704 @@
+//! # borndist-service
+//!
+//! The threshold-signing **daemon**: the paper's schemes deployed as `N`
+//! long-running OS processes plus a front-end, talking over real TCP
+//! sockets (DESIGN.md §2 "TCP transport & the signing daemon").
+//!
+//! Lifecycle of a deployment:
+//!
+//! 1. **Birth** — the `N` player processes run Pedersen's DKG (§3.1)
+//!    over a [`borndist_net::TcpTransport`] mesh; no process ever holds
+//!    the key.
+//! 2. **Ready** — each player joins a second mesh that includes the
+//!    front-end and ships it a [`ServiceMessage::Ready`] carrying the
+//!    public key and that player's local DKG traffic metrics; the
+//!    front-end merges them ([`borndist_net::Metrics::merge`]) into the
+//!    same global view an in-process transport would have metered.
+//! 3. **Serve** — the front-end accepts framed [`ClientRequest`]s on a
+//!    client socket and drives concurrent `core::netsign` mux sessions,
+//!    bounded by `max_in_flight` (backpressure); combined signatures
+//!    stream back as [`ClientResponse::Signed`].
+//! 4. **Shutdown** — a [`ClientRequest::Shutdown`] drains in-flight
+//!    sessions, closes the mesh, and answers with a final
+//!    [`ClientResponse::Summary`] (public key, merged DKG metrics,
+//!    high-water mark) for audit gates.
+//!
+//! The `smoke` mode wires all of the above together: it spawns the
+//! player and front-end processes, replays the same DKG in-process over
+//! a [`borndist_net::ChannelTransport`], and asserts the merged
+//! cross-process metrics are **byte-identical**
+//! ([`borndist_net::Metrics::same_traffic`]) — the CI gate that the TCP
+//! path is the same protocol, not a lookalike.
+
+use borndist_core::netsign::{MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPlayer};
+use borndist_core::ro::{KeyMaterial, PublicKey, Signature, ThresholdScheme};
+use borndist_net::{
+    CodecError, Delivered, Metrics, Outgoing, PlayerId, Protocol, Recipient, RoundAction, Wire,
+};
+use borndist_shamir::ThresholdParams;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::mpsc;
+
+pub mod daemon;
+
+/// Round budget for the DKG mesh (deal, complain, answer, finalize,
+/// plus finish slack — matches the in-process drivers).
+pub const DKG_ROUND_BUDGET: usize = 8;
+
+/// Round budget for the signing mesh. Rounds are cheap (an idle round
+/// is one `EndRound` marker per link and a 1 ms coordinator sleep), so
+/// this bounds a daemon's lifetime at roughly `100_000` idle-ish
+/// rounds rather than any meaningful work limit.
+pub const SIGN_ROUND_BUDGET: usize = 100_000;
+
+/// Largest accepted client frame (requests carry raw messages to sign).
+pub const MAX_CLIENT_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------
+// Service mesh protocol: Ready handoff + multiplexed signing.
+// ---------------------------------------------------------------------
+
+const TAG_READY: u8 = 0;
+const TAG_MUX: u8 = 1;
+
+/// Wire message of the signing mesh (players `1..=n` plus the
+/// front-end at id `n+1`).
+//
+// `Ready` dominates the enum size (a public key plus a full `Metrics`
+// snapshot), but it crosses the wire only during the one-shot handoff
+// after DKG; boxing it would complicate the `Wire` impl for no steady-
+// state gain.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum ServiceMessage {
+    /// Player → front-end (private): the DKG finished; here is the
+    /// public key and this player's local traffic view. Retransmitted
+    /// until the front-end's first broadcast proves receipt.
+    Ready {
+        /// The jointly generated public key.
+        public_key: PublicKey,
+        /// This player's sender-side DKG metrics (merged by the
+        /// front-end into the global view).
+        dkg_metrics: Metrics,
+    },
+    /// A multiplexed-signing message, verbatim.
+    Mux(MuxMessage),
+}
+
+impl Wire for ServiceMessage {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ServiceMessage::Ready {
+                public_key,
+                dkg_metrics,
+            } => {
+                out.push(TAG_READY);
+                public_key.encode_to(out);
+                dkg_metrics.encode_to(out);
+            }
+            ServiceMessage::Mux(m) => {
+                out.push(TAG_MUX);
+                m.encode_to(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            TAG_READY => Ok(ServiceMessage::Ready {
+                public_key: PublicKey::decode(input)?,
+                dkg_metrics: Metrics::decode(input)?,
+            }),
+            TAG_MUX => Ok(ServiceMessage::Mux(MuxMessage::decode(input)?)),
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
+
+/// What the front-end learned from the `Ready` handoff.
+#[derive(Clone, Debug)]
+pub struct ReadyInfo {
+    /// The public key every player reported.
+    pub public_key: PublicKey,
+    /// All players' DKG metrics merged into the global traffic view.
+    pub dkg_metrics: Metrics,
+}
+
+/// Per-node output of a signing-mesh run.
+#[derive(Debug, Default)]
+pub struct ServiceOutcome {
+    /// The multiplexed-signing outcome (signatures observed; the
+    /// front-end additionally carries the backpressure high-water
+    /// mark).
+    pub mux: MuxOutcome,
+    /// Front-end only: the merged `Ready` information.
+    pub ready: Option<ReadyInfo>,
+}
+
+fn mux_inbox(inbox: &[Delivered<ServiceMessage>]) -> Vec<Delivered<MuxMessage>> {
+    inbox
+        .iter()
+        .filter_map(|d| match &d.msg {
+            Ok(ServiceMessage::Mux(m)) => Some(Delivered {
+                from: d.from,
+                broadcast: d.broadcast,
+                msg: Ok(m.clone()),
+            }),
+            Ok(ServiceMessage::Ready { .. }) => None,
+            // Malformed frames propagate so the inner protocol applies
+            // its own decode-validate-then-process discipline.
+            Err(e) => Some(Delivered {
+                from: d.from,
+                broadcast: d.broadcast,
+                msg: Err(*e),
+            }),
+        })
+        .collect()
+}
+
+fn wrap_mux(out: Vec<Outgoing<MuxMessage>>) -> Vec<Outgoing<ServiceMessage>> {
+    out.into_iter()
+        .map(|o| Outgoing {
+            to: o.to,
+            msg: ServiceMessage::Mux(o.msg),
+        })
+        .collect()
+}
+
+/// One signing node of the daemon: a [`MuxSignerPlayer`] that first
+/// hands its DKG result to the front-end.
+pub struct ServicePlayer {
+    inner: MuxSignerPlayer,
+    id: PlayerId,
+    frontend: PlayerId,
+    /// `Ready` payload, retransmitted every round until any frame from
+    /// the front-end arrives (its first `Open`/`Shutdown` broadcast
+    /// proves the handoff landed — it only opens sessions once all
+    /// `Ready`s are in).
+    ready: Option<(PublicKey, Metrics)>,
+}
+
+impl ServicePlayer {
+    /// Builds the signing node for player `id` of an `n`-player
+    /// deployment from its assembled key material. The front-end sits
+    /// at id `n+1`.
+    pub fn new(
+        scheme: ThresholdScheme,
+        km: &KeyMaterial,
+        id: PlayerId,
+        dkg_metrics: Metrics,
+    ) -> Self {
+        let n = km.params.n as PlayerId;
+        let signer_ids: Vec<PlayerId> = (1..=n).collect();
+        let inner = MuxSignerPlayer::new(
+            scheme,
+            km.params,
+            km.public_key.clone(),
+            km.verification_keys.clone(),
+            km.shares[&id].clone(),
+            signer_ids,
+        );
+        ServicePlayer {
+            inner,
+            id,
+            frontend: n + 1,
+            ready: Some((km.public_key.clone(), dkg_metrics)),
+        }
+    }
+}
+
+impl Protocol for ServicePlayer {
+    type Message = ServiceMessage;
+    type Output = ServiceOutcome;
+
+    fn round(
+        &mut self,
+        round: usize,
+        inbox: &[Delivered<ServiceMessage>],
+    ) -> RoundAction<ServiceMessage, ServiceOutcome> {
+        if inbox.iter().any(|d| d.from == self.frontend) {
+            self.ready = None;
+        }
+        match self.inner.round(round, &mux_inbox(inbox)) {
+            RoundAction::Continue(out) => {
+                let mut out = wrap_mux(out);
+                if let Some((public_key, dkg_metrics)) = self.ready.clone() {
+                    out.push(Outgoing {
+                        to: Recipient::Private(self.frontend),
+                        msg: ServiceMessage::Ready {
+                            public_key,
+                            dkg_metrics,
+                        },
+                    });
+                }
+                RoundAction::Continue(out)
+            }
+            RoundAction::Finish(mux) => RoundAction::Finish(ServiceOutcome { mux, ready: None }),
+        }
+    }
+
+    fn id(&self) -> PlayerId {
+        self.id
+    }
+}
+
+/// Where the front-end's signing requests come from.
+enum CoordinatorSource {
+    /// A fixed queue — deterministic runs for tests and benchmarks.
+    Queue(Vec<(u64, Vec<u8>)>),
+    /// Live channels — the daemon path.
+    Live {
+        intake: mpsc::Receiver<(u64, Vec<u8>)>,
+        completed: mpsc::Sender<(u64, Signature)>,
+    },
+}
+
+/// The daemon front-end as a protocol player: waits for every player's
+/// [`ServiceMessage::Ready`], merges the DKG metrics, then runs a
+/// [`MuxCoordinator`] over the learned public key.
+pub struct ServiceCoordinator {
+    id: PlayerId,
+    n: usize,
+    scheme: ThresholdScheme,
+    max_in_flight: usize,
+    source: Option<CoordinatorSource>,
+    ready: BTreeMap<PlayerId, (PublicKey, Metrics)>,
+    inner: Option<MuxCoordinator>,
+    info: Option<ReadyInfo>,
+}
+
+impl ServiceCoordinator {
+    fn base(n: usize, scheme: ThresholdScheme, max_in_flight: usize) -> Self {
+        ServiceCoordinator {
+            id: n as PlayerId + 1,
+            n,
+            scheme,
+            max_in_flight,
+            source: None,
+            ready: BTreeMap::new(),
+            inner: None,
+            info: None,
+        }
+    }
+
+    /// Front-end with a fixed request queue (deterministic).
+    pub fn with_requests(
+        n: usize,
+        scheme: ThresholdScheme,
+        max_in_flight: usize,
+        requests: Vec<(u64, Vec<u8>)>,
+    ) -> Self {
+        let mut c = Self::base(n, scheme, max_in_flight);
+        c.source = Some(CoordinatorSource::Queue(requests));
+        c
+    }
+
+    /// Front-end fed by live channels (the daemon path): requests
+    /// arrive on `intake` until its sender is dropped; every combined
+    /// signature is pushed into `completed`.
+    pub fn with_intake(
+        n: usize,
+        scheme: ThresholdScheme,
+        max_in_flight: usize,
+        intake: mpsc::Receiver<(u64, Vec<u8>)>,
+        completed: mpsc::Sender<(u64, Signature)>,
+    ) -> Self {
+        let mut c = Self::base(n, scheme, max_in_flight);
+        c.source = Some(CoordinatorSource::Live { intake, completed });
+        c
+    }
+
+    fn absorb_ready(&mut self, inbox: &[Delivered<ServiceMessage>]) {
+        for d in inbox {
+            if let Ok(ServiceMessage::Ready {
+                public_key,
+                dkg_metrics,
+            }) = &d.msg
+            {
+                if !d.broadcast && d.from >= 1 && d.from <= self.n as PlayerId {
+                    self.ready
+                        .entry(d.from)
+                        .or_insert_with(|| (public_key.clone(), dkg_metrics.clone()));
+                }
+            }
+        }
+        if self.inner.is_none() && self.ready.len() == self.n {
+            let (first, _) = self.ready.values().next().expect("n >= 1").clone();
+            assert!(
+                self.ready.values().all(|(pk, _)| *pk == first),
+                "players disagree on the DKG public key"
+            );
+            let merged = Metrics::merge(self.ready.values().map(|(_, m)| m));
+            self.info = Some(ReadyInfo {
+                public_key: first.clone(),
+                dkg_metrics: merged,
+            });
+            let inner = match self.source.take().expect("source consumed once") {
+                CoordinatorSource::Queue(requests) => MuxCoordinator::with_requests(
+                    self.id,
+                    self.scheme.clone(),
+                    first,
+                    self.max_in_flight,
+                    requests,
+                ),
+                CoordinatorSource::Live { intake, completed } => MuxCoordinator::with_intake(
+                    self.id,
+                    self.scheme.clone(),
+                    first,
+                    self.max_in_flight,
+                    intake,
+                    completed,
+                ),
+            };
+            self.inner = Some(inner);
+        }
+    }
+}
+
+impl Protocol for ServiceCoordinator {
+    type Message = ServiceMessage;
+    type Output = ServiceOutcome;
+
+    fn round(
+        &mut self,
+        round: usize,
+        inbox: &[Delivered<ServiceMessage>],
+    ) -> RoundAction<ServiceMessage, ServiceOutcome> {
+        self.absorb_ready(inbox);
+        let Some(inner) = self.inner.as_mut() else {
+            // Still waiting for the mesh to report Ready.
+            return RoundAction::Continue(Vec::new());
+        };
+        match inner.round(round, &mux_inbox(inbox)) {
+            RoundAction::Continue(out) => RoundAction::Continue(wrap_mux(out)),
+            RoundAction::Finish(mux) => RoundAction::Finish(ServiceOutcome {
+                mux,
+                ready: self.info.take(),
+            }),
+        }
+    }
+
+    fn id(&self) -> PlayerId {
+        self.id
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client protocol: framed request/response over the front-end socket.
+// ---------------------------------------------------------------------
+
+const TAG_SIGN: u8 = 0;
+const TAG_CLIENT_SHUTDOWN: u8 = 1;
+const TAG_SIGNED: u8 = 0;
+const TAG_SUMMARY: u8 = 1;
+
+/// A client → front-end frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// Sign `msg`; the signature comes back tagged with `id`.
+    Sign {
+        /// Client-chosen request id (the mux session id).
+        id: u64,
+        /// The message to threshold-sign.
+        msg: Vec<u8>,
+    },
+    /// Drain in-flight sessions, close the mesh, answer with a
+    /// [`ClientResponse::Summary`], and exit.
+    Shutdown,
+}
+
+impl Wire for ClientRequest {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientRequest::Sign { id, msg } => {
+                out.push(TAG_SIGN);
+                id.encode_to(out);
+                msg.encode_to(out);
+            }
+            ClientRequest::Shutdown => out.push(TAG_CLIENT_SHUTDOWN),
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            TAG_SIGN => Ok(ClientRequest::Sign {
+                id: u64::decode(input)?,
+                msg: Vec::<u8>::decode(input)?,
+            }),
+            TAG_CLIENT_SHUTDOWN => Ok(ClientRequest::Shutdown),
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
+
+/// A front-end → client frame.
+//
+// `Summary` dominates the enum size (public key + merged `Metrics`) but
+// is sent exactly once, as the final frame of a connection; boxing it
+// would complicate the `Wire` impl for no steady-state gain.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum ClientResponse {
+    /// Request `id` completed with this combined signature.
+    Signed {
+        /// The request this signature answers.
+        id: u64,
+        /// The unique combined signature.
+        sig: Signature,
+    },
+    /// Final frame after a shutdown: the audit summary.
+    Summary {
+        /// The deployment's public key.
+        public_key: PublicKey,
+        /// Global DKG traffic metrics, merged from every player's
+        /// local view.
+        dkg_metrics: Metrics,
+        /// Backpressure high-water mark (peak concurrent sessions).
+        high_water: u64,
+        /// Number of signing requests served.
+        served: u64,
+    },
+}
+
+impl Wire for ClientResponse {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientResponse::Signed { id, sig } => {
+                out.push(TAG_SIGNED);
+                id.encode_to(out);
+                sig.encode_to(out);
+            }
+            ClientResponse::Summary {
+                public_key,
+                dkg_metrics,
+                high_water,
+                served,
+            } => {
+                out.push(TAG_SUMMARY);
+                public_key.encode_to(out);
+                dkg_metrics.encode_to(out);
+                high_water.encode_to(out);
+                served.encode_to(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            TAG_SIGNED => Ok(ClientResponse::Signed {
+                id: u64::decode(input)?,
+                sig: Signature::decode(input)?,
+            }),
+            TAG_SUMMARY => Ok(ClientResponse::Summary {
+                public_key: PublicKey::decode(input)?,
+                dkg_metrics: Metrics::decode(input)?,
+                high_water: u64::decode(input)?,
+                served: u64::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
+
+/// Writes one `u32`-length-prefixed [`Wire`] frame.
+pub fn write_frame<T: Wire, W: Write>(w: &mut W, value: &T) -> std::io::Result<()> {
+    let bytes = value.encode();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one `u32`-length-prefixed [`Wire`] frame (strict decode: the
+/// payload must consume exactly the declared length).
+pub fn read_frame<T: Wire, R: Read>(r: &mut R) -> std::io::Result<T> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_CLIENT_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "client frame of {} bytes exceeds cap {}",
+                len, MAX_CLIENT_FRAME
+            ),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    T::decode_exact(&buf).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad frame: {}", e))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Deployment topology shared by every mode.
+// ---------------------------------------------------------------------
+
+/// Everything the processes of one deployment must agree on.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Threshold parameters `(t, n)`.
+    pub params: ThresholdParams,
+    /// Shared DKG seed (per-player RNGs derive from it).
+    pub seed: u64,
+    /// Hash-domain tag; all processes must use the same one.
+    pub domain: Vec<u8>,
+    /// DKG mesh: player `i` listens on `127.0.0.1:dkg_base + i`.
+    pub dkg_base: u16,
+    /// Signing mesh: node `i` (players and the front-end at `n+1`)
+    /// listens on `127.0.0.1:sign_base + i`.
+    pub sign_base: u16,
+    /// Backpressure bound on concurrently open signing sessions.
+    pub max_in_flight: usize,
+}
+
+impl Topology {
+    /// Socket address of node `id` on the mesh rooted at `base`.
+    pub fn addr(base: u16, id: PlayerId) -> std::net::SocketAddr {
+        std::net::SocketAddr::from(([127, 0, 0, 1], base + id as u16))
+    }
+
+    /// Peer map for node `me` over the ids `1..=count` at `base`.
+    pub fn peers(base: u16, me: PlayerId, count: u32) -> BTreeMap<PlayerId, std::net::SocketAddr> {
+        (1..=count)
+            .filter(|id| *id != me)
+            .map(|id| (id, Self::addr(base, id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borndist_net::{run_protocol, BoxedPlayer, DeliveryPolicy, TransportKind};
+
+    fn mesh(
+        n: usize,
+        t: usize,
+        seed: u64,
+        requests: Vec<(u64, Vec<u8>)>,
+        max_in_flight: usize,
+    ) -> (
+        ThresholdScheme,
+        Vec<BoxedPlayer<ServiceMessage, ServiceOutcome>>,
+    ) {
+        let scheme = ThresholdScheme::new(b"service-mesh-test");
+        let params = ThresholdParams::new(t, n).unwrap();
+        let (km, dkg_metrics) = scheme
+            .keygen_session(params, &BTreeMap::new(), seed, &TransportKind::Lockstep)
+            .unwrap();
+        let mut players: Vec<BoxedPlayer<ServiceMessage, ServiceOutcome>> = (1..=n as PlayerId)
+            .map(|id| {
+                Box::new(ServicePlayer::new(
+                    scheme.clone(),
+                    &km,
+                    id,
+                    dkg_metrics.clone(),
+                )) as _
+            })
+            .collect();
+        players.push(Box::new(ServiceCoordinator::with_requests(
+            n,
+            scheme.clone(),
+            max_in_flight,
+            requests,
+        )) as _);
+        (scheme, players)
+    }
+
+    #[test]
+    fn service_message_roundtrips() {
+        let scheme = ThresholdScheme::new(b"svc-wire");
+        let params = ThresholdParams::new(1, 3).unwrap();
+        let (km, metrics) = scheme
+            .keygen_session(params, &BTreeMap::new(), 5, &TransportKind::Lockstep)
+            .unwrap();
+        let ready = ServiceMessage::Ready {
+            public_key: km.public_key.clone(),
+            dkg_metrics: metrics,
+        };
+        match ServiceMessage::decode_exact(&ready.encode()).unwrap() {
+            ServiceMessage::Ready { public_key, .. } => assert_eq!(public_key, km.public_key),
+            other => panic!("wrong variant: {:?}", other),
+        }
+        let mux = ServiceMessage::Mux(MuxMessage::Open {
+            session: 9,
+            msg: b"m".to_vec(),
+        });
+        assert!(matches!(
+            ServiceMessage::decode_exact(&mux.encode()).unwrap(),
+            ServiceMessage::Mux(MuxMessage::Open { session: 9, .. })
+        ));
+        assert!(ServiceMessage::decode_exact(&[7u8]).is_err());
+    }
+
+    #[test]
+    fn client_frames_roundtrip() {
+        let req = ClientRequest::Sign {
+            id: 42,
+            msg: b"pay alice".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: ClientRequest = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ClientRequest::Shutdown).unwrap();
+        assert_eq!(
+            read_frame::<ClientRequest, _>(&mut buf.as_slice()).unwrap(),
+            ClientRequest::Shutdown
+        );
+
+        // Oversized declared length is rejected before allocation.
+        let huge = (MAX_CLIENT_FRAME as u32 + 1).to_be_bytes();
+        assert!(read_frame::<ClientRequest, _>(&mut huge.as_slice()).is_err());
+    }
+
+    #[test]
+    fn mesh_serves_requests_and_reports_merged_metrics() {
+        let requests: Vec<(u64, Vec<u8>)> = (0..10u64)
+            .map(|i| (i, format!("req {}", i).into_bytes()))
+            .collect();
+        let (scheme, players) = mesh(4, 1, 11, requests.clone(), 3);
+        let (outputs, _) = run_protocol(
+            &TransportKind::Channel(DeliveryPolicy::reliable()),
+            players,
+            10_000,
+        )
+        .unwrap();
+        let frontend = &outputs[&5];
+        let info = frontend.ready.as_ref().expect("frontend learned the key");
+        assert_eq!(frontend.mux.signatures.len(), requests.len());
+        assert!(frontend.mux.high_water <= 3);
+        for (id, msg) in &requests {
+            assert!(scheme.verify(&info.public_key, msg, &frontend.mux.signatures[id]));
+        }
+        // The merged DKG view counts every player's sends: n players'
+        // local metrics merged by the coordinator must equal n times
+        // one player's traffic only in aggregate — here we just check
+        // the merge saw all four players.
+        assert_eq!(info.dkg_metrics.bytes_by_player.len(), 4);
+    }
+
+    #[test]
+    fn ready_handoff_survives_private_loss() {
+        // 30% private drop: Ready frames (private) get lost; the
+        // retransmit-until-acked rule must still converge.
+        let requests = vec![(1u64, b"lossy ready".to_vec())];
+        let (scheme, players) = mesh(4, 1, 13, requests, 2);
+        let (outputs, _) = run_protocol(
+            &TransportKind::Channel(DeliveryPolicy::lossy(0xfeed, 0.3)),
+            players,
+            10_000,
+        )
+        .unwrap();
+        let frontend = &outputs[&5];
+        let info = frontend.ready.as_ref().expect("Ready got through");
+        assert!(scheme.verify(
+            &info.public_key,
+            b"lossy ready",
+            &frontend.mux.signatures[&1]
+        ));
+    }
+}

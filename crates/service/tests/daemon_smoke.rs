@@ -1,0 +1,42 @@
+//! The full daemon lifecycle across OS processes: `smoke` mode spawns
+//! 4 player processes plus the front-end, pushes 120 concurrent
+//! signing requests through the client socket, and gates on
+//! signature validity, DKG metrics byte-parity with an in-process
+//! `ChannelTransport` reference run, and the backpressure bound.
+//!
+//! Release-only: debug-profile pairings make the 120-request run take
+//! minutes; CI runs this via `cargo test --release -p borndist_service`.
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "multi-process smoke needs release-profile pairings; run with --release"
+)]
+fn multi_process_daemon_smoke() {
+    let exe = env!("CARGO_BIN_EXE_borndist-service");
+    let output = std::process::Command::new(exe)
+        .args([
+            "smoke",
+            "--n",
+            "4",
+            "--t",
+            "1",
+            "--seed",
+            "7",
+            "--requests",
+            "120",
+            "--max-in-flight",
+            "8",
+        ])
+        .output()
+        .expect("smoke mode spawns");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "smoke failed ({}): stdout={} stderr={}",
+        output.status,
+        stdout,
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("SMOKE OK"), "missing gate line: {}", stdout);
+}

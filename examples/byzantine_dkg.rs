@@ -3,7 +3,8 @@
 //!
 //! Run with: `cargo run --release --example byzantine_dkg`
 
-use borndist::dkg::{run_dkg, standard_config, Behavior, DkgAbort};
+use borndist::dkg::{dkg_session, standard_config, Behavior, DkgAbort};
+use borndist::net::TransportKind;
 use borndist::shamir::ThresholdParams;
 use std::collections::BTreeMap;
 
@@ -53,7 +54,8 @@ fn main() {
     println!("   player 5: crashes before dealing");
     println!("   player 7: falsely accuses an honest player\n");
 
-    let (outputs, metrics) = run_dkg(&cfg, &behaviors, 0xB42).expect("simulation runs");
+    let (outputs, metrics) =
+        dkg_session(&cfg, &behaviors, 0xB42, &TransportKind::Lockstep).expect("simulation runs");
 
     println!("== Network metrics ==");
     println!(

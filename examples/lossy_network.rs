@@ -17,10 +17,7 @@
 //!
 //! Run with: `cargo run --example lossy_network`
 
-use borndist::core::netsign::run_threshold_sign;
-use borndist::core::ro::ThresholdScheme;
-use borndist::net::{DeliveryPolicy, TransportKind};
-use borndist::shamir::ThresholdParams;
+use borndist::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -40,20 +37,20 @@ fn main() {
 
     // Reference run over the idealized lockstep transport.
     let (km_ref, m_lock) = scheme
-        .dist_keygen(params, &behaviors, 0x10551)
+        .keygen_session(params, &behaviors, 0x10551, &TransportKind::Lockstep)
         .expect("lockstep DKG");
 
     // Byte-parity leg: the same DKG over the threaded channel transport
     // with a *reliable* policy must meter exactly the same frames.
     let reliable = TransportKind::Channel(DeliveryPolicy::reliable());
     let (_, m_reliable) = scheme
-        .dist_keygen_over(params, &behaviors, 0x10551, &reliable)
+        .keygen_session(params, &behaviors, 0x10551, &reliable)
         .expect("reliable channel DKG");
 
     // Liveness leg: the same DKG over a lossy, reordering network.
     let lossy = TransportKind::Channel(DeliveryPolicy::lossy(0xdeadbeef, drop_rate));
     let (km, m_lossy) = scheme
-        .dist_keygen_over(params, &behaviors, 0x10551, &lossy)
+        .keygen_session(params, &behaviors, 0x10551, &lossy)
         .expect("lossy DKG completes");
 
     println!("-- DKG --");

@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --release --example proactive_storage`
 
-use borndist::core::proactive::ProactiveDeployment;
-use borndist::core::ro::{PartialSignature, ThresholdScheme};
-use borndist::shamir::ThresholdParams;
+use borndist::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -22,7 +20,7 @@ fn main() {
     let params = ThresholdParams::new(2, 5).unwrap();
     let scheme = ThresholdScheme::new(b"storage-quorum");
     let (km, _) = scheme
-        .dist_keygen(params, &BTreeMap::new(), 0x57_0E)
+        .keygen_session(params, &BTreeMap::new(), 0x57_0E, &TransportKind::Lockstep)
         .expect("honest DKG");
     let mut deployment = ProactiveDeployment::new(scheme, km);
     println!("== Storage quorum online: n=5, t=2, key born distributed ==");
@@ -66,7 +64,7 @@ fn main() {
 
         // Refresh before the next epoch.
         deployment
-            .advance_epoch(&BTreeMap::new(), 0xEE00 + epoch)
+            .refresh_epoch(&BTreeMap::new(), 0xEE00 + epoch, &TransportKind::Lockstep)
             .expect("refresh succeeds");
         println!("   epoch {}: shares refreshed; public key unchanged", epoch);
     }

@@ -6,8 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use borndist::core::ro::ThresholdScheme;
-use borndist::shamir::ThresholdParams;
+use borndist::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -17,7 +16,7 @@ fn main() {
 
     println!("== Dist-Keygen: 5 players, no trusted dealer ==");
     let (km, metrics) = scheme
-        .dist_keygen(params, &BTreeMap::new(), 0xC0FFEE)
+        .keygen_session(params, &BTreeMap::new(), 0xC0FFEE, &TransportKind::Lockstep)
         .expect("DKG succeeds with honest players");
     println!(
         "   qualified dealers: {:?}",

@@ -18,11 +18,60 @@
 //! | [`grothsahai`] | SXDH Groth–Sahai NIWI proofs for linear pairing-product equations (§4, Appendix A) |
 //! | [`core`] | the paper's schemes: §3 ROM, Appendix G aggregation, Appendix F DLIN, §4 standard model, §3.3 proactive epochs |
 //! | [`baselines`] | plain BLS, Boldyreva threshold BLS, additive-reshare (ADN-style) scheme, RSA size constants |
+//! | [`prelude`] | the service-facing surface in one import: schemes, `Wire`, transports, session drivers, `Parallelism` |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the architecture notes and the E1–E10 experiment index (measured
 //! results will land in EXPERIMENTS.md alongside the measurement
 //! harness).
+
+/// The service-facing surface in one import.
+///
+/// Everything a deployment binary needs to generate keys distributively,
+/// sign over a transport, and meter traffic:
+///
+/// ```rust
+/// use borndist::prelude::*;
+/// use std::collections::BTreeMap;
+///
+/// let scheme = ThresholdScheme::new(b"prelude-tour");
+/// let (km, _) = scheme
+///     .keygen_session(
+///         ThresholdParams::new(1, 4).unwrap(),
+///         &BTreeMap::new(),
+///         7,
+///         &TransportKind::Lockstep,
+///     )
+///     .unwrap();
+/// let sig = scheme
+///     .combine(
+///         &km.params,
+///         &[
+///             scheme.share_sign(&km.shares[&1], b"hi"),
+///             scheme.share_sign(&km.shares[&3], b"hi"),
+///         ],
+///     )
+///     .unwrap();
+/// assert!(scheme.verify(&km.public_key, b"hi", &sig));
+/// ```
+pub mod prelude {
+    pub use borndist_core::netsign::{
+        run_mux_sign, run_threshold_sign, MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPlayer,
+    };
+    pub use borndist_core::proactive::{ProactiveDeployment, ProactiveError};
+    pub use borndist_core::ro::{
+        DistKeygenError, KeyMaterial, KeyShare, PartialSignature, PublicKey, Signature,
+        ThresholdScheme, VerificationKey,
+    };
+    pub use borndist_core::{AggregateScheme, DlinScheme, StandardScheme};
+    pub use borndist_dkg::{dkg_session, refresh_session, standard_config, Behavior, DkgConfig};
+    pub use borndist_net::{
+        ChannelTransport, DeliveryPolicy, Error as NetError, LockstepTransport, Metrics,
+        TcpOptions, TcpTransport, TransportKind, Wire,
+    };
+    pub use borndist_parallel::Parallelism;
+    pub use borndist_shamir::ThresholdParams;
+}
 
 pub use borndist_baselines as baselines;
 pub use borndist_core as core;

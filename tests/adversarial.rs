@@ -5,6 +5,7 @@
 use borndist::core::proactive::ProactiveDeployment;
 use borndist::core::ro::{CombineError, PartialSignature, ThresholdScheme};
 use borndist::dkg::Behavior;
+use borndist::net::TransportKind;
 use borndist::shamir::ThresholdParams;
 use std::collections::BTreeMap;
 
@@ -29,7 +30,9 @@ fn maximal_byzantine_dkg_still_yields_working_key() {
             ..Default::default()
         },
     );
-    let (km, _) = scheme.dist_keygen(params, &behaviors, 21).unwrap();
+    let (km, _) = scheme
+        .keygen_session(params, &behaviors, 21, &TransportKind::Lockstep)
+        .unwrap();
     assert!(!km.qualified.contains(&2));
     assert!(!km.qualified.contains(&5));
     assert_eq!(km.qualified.len(), 5);
@@ -109,7 +112,9 @@ fn threshold_is_enforced_everywhere() {
 fn mobile_adversary_defeated_by_refresh() {
     let params = ThresholdParams::new(2, 5).unwrap();
     let scheme = ThresholdScheme::new(b"adv-mobile");
-    let (km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 31).unwrap();
+    let (km, _) = scheme
+        .keygen_session(params, &BTreeMap::new(), 31, &TransportKind::Lockstep)
+        .unwrap();
     let mut dep = ProactiveDeployment::new(scheme, km);
 
     // Epoch 0: adversary takes shares of players 1, 2.
@@ -117,7 +122,8 @@ fn mobile_adversary_defeated_by_refresh() {
         .iter()
         .map(|i| dep.material().shares[i].clone())
         .collect();
-    dep.advance_epoch(&BTreeMap::new(), 32).unwrap();
+    dep.refresh_epoch(&BTreeMap::new(), 32, &TransportKind::Lockstep)
+        .unwrap();
     // Epoch 1: adversary takes share of player 3 (fresh).
     let stolen_epoch1 = dep.material().shares[&3].clone();
 
@@ -147,7 +153,9 @@ fn mobile_adversary_defeated_by_refresh() {
 fn byzantine_refresh_dealer_cannot_shift_the_key() {
     let params = ThresholdParams::new(1, 4).unwrap();
     let scheme = ThresholdScheme::new(b"adv-refresh");
-    let (km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 41).unwrap();
+    let (km, _) = scheme
+        .keygen_session(params, &BTreeMap::new(), 41, &TransportKind::Lockstep)
+        .unwrap();
     let pk = km.public_key.clone();
     let mut dep = ProactiveDeployment::new(scheme, km);
     // Player 2 tries to sneak a non-zero secret into the refresh.
@@ -159,7 +167,8 @@ fn byzantine_refresh_dealer_cannot_shift_the_key() {
             ..Default::default()
         },
     );
-    dep.advance_epoch(&behaviors, 42).unwrap();
+    dep.refresh_epoch(&behaviors, 42, &TransportKind::Lockstep)
+        .unwrap();
     assert_eq!(dep.material().public_key, pk, "public key must not move");
     // Signing still works with honest players.
     let msg = b"key stayed put";

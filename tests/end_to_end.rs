@@ -7,6 +7,7 @@ use borndist::core::proactive::ProactiveDeployment;
 use borndist::core::ro::{PartialSignature, ThresholdScheme};
 use borndist::core::standard::StandardScheme;
 use borndist::core::DlinScheme;
+use borndist::net::TransportKind;
 use borndist::shamir::ThresholdParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +19,9 @@ fn complete_lifecycle() {
     let scheme = ThresholdScheme::new(b"lifecycle");
 
     // 1. Birth: distributed key generation, one active round.
-    let (km, metrics) = scheme.dist_keygen(params, &BTreeMap::new(), 1).unwrap();
+    let (km, metrics) = scheme
+        .keygen_session(params, &BTreeMap::new(), 1, &TransportKind::Lockstep)
+        .unwrap();
     assert_eq!(metrics.active_rounds, 1);
     assert_eq!(km.qualified.len(), 5);
 
@@ -43,7 +46,8 @@ fn complete_lifecycle() {
     let mut dep = ProactiveDeployment::new(scheme, km);
     let pk = dep.material().public_key.clone();
     for e in 0..3 {
-        dep.advance_epoch(&BTreeMap::new(), 100 + e).unwrap();
+        dep.refresh_epoch(&BTreeMap::new(), 100 + e, &TransportKind::Lockstep)
+            .unwrap();
         assert_eq!(dep.material().public_key, pk);
     }
 
@@ -117,7 +121,9 @@ fn dkg_and_dealer_keys_are_interchangeable() {
     let scheme = ThresholdScheme::new(b"interchange");
     let mut rng = StdRng::seed_from_u64(7);
 
-    let (dkg_km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 9).unwrap();
+    let (dkg_km, _) = scheme
+        .keygen_session(params, &BTreeMap::new(), 9, &TransportKind::Lockstep)
+        .unwrap();
     let dealer_km = scheme.dealer_keygen(params, &mut rng);
 
     let msg = b"which key signed me?";

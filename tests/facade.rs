@@ -44,7 +44,14 @@ fn all_facade_reexports_resolve() {
 fn quickstart_flow_through_facade() {
     let scheme = borndist::core::ro::ThresholdScheme::new(b"facade-quickstart");
     let params = borndist::shamir::ThresholdParams::new(1, 4).unwrap();
-    let (km, _) = scheme.dist_keygen(params, &BTreeMap::new(), 7).unwrap();
+    let (km, _) = scheme
+        .keygen_session(
+            params,
+            &BTreeMap::new(),
+            7,
+            &borndist::net::TransportKind::Lockstep,
+        )
+        .unwrap();
 
     let p1 = scheme.share_sign(&km.shares[&1], b"hello");
     let p3 = scheme.share_sign(&km.shares[&3], b"hello");

@@ -228,7 +228,8 @@ fn normalization_and_tables_are_thread_count_invariant() {
 
 #[test]
 fn dkg_outputs_are_thread_count_invariant() {
-    use borndist::dkg::{run_dkg, standard_config, Behavior};
+    use borndist::dkg::{dkg_session, standard_config, Behavior};
+    use borndist::net::TransportKind;
     use std::collections::BTreeMap;
     let params = ThresholdParams::new(2, 5).unwrap();
     let cfg = standard_config(params, 2, b"par-inv-dkg", false);
@@ -242,8 +243,8 @@ fn dkg_outputs_are_thread_count_invariant() {
             ..Behavior::default()
         },
     );
-    let outputs = invariant("run_dkg(byzantine)", || {
-        let (outputs, _) = run_dkg(&cfg, &behaviors, 0x77).unwrap();
+    let outputs = invariant("dkg_session(byzantine)", || {
+        let (outputs, _) = dkg_session(&cfg, &behaviors, 0x77, &TransportKind::Lockstep).unwrap();
         outputs
     });
     // Sanity: the honest players agreed on a qualified set that excludes
