@@ -68,7 +68,8 @@ fn bench_group_ops(c: &mut Criterion) {
 }
 
 /// The scalar-multiplication ladder: schoolbook double-and-add (the
-/// reference slow path) vs wNAF (the default) vs fixed-base tables.
+/// reference slow path) vs wNAF vs the GLV joint ladder (the default
+/// behind `mul`) vs fixed-base tables.
 fn bench_scalar_mul_paths(c: &mut Criterion) {
     let mut rng = bench_rng();
     let s = Fr::random(&mut rng);
@@ -81,7 +82,10 @@ fn bench_scalar_mul_paths(c: &mut Criterion) {
     g.bench_function("g1_schoolbook", |b| {
         b.iter(|| base.mul_schoolbook(&s.to_le_bits()))
     });
-    g.bench_function("g1_wnaf", |b| b.iter(|| base.mul(&s)));
+    g.bench_function("g1_wnaf", |b| {
+        b.iter(|| base.mul_vartime_limbs(&s.to_le_bits()))
+    });
+    g.bench_function("g1_glv", |b| b.iter(|| base.mul(&s)));
     g.bench_function("g1_fixed_base_table", |b| b.iter(|| table.mul(&s)));
     g.bench_function("g1_generator_table", |b| b.iter(|| mul_g1_generator(&s)));
     // MSM regimes around the window table boundaries.

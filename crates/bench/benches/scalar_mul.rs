@@ -1,0 +1,65 @@
+//! The GLV/GLS kernel pass (ROADMAP item 2): per-ladder costs on both
+//! curve groups plus the decomposition itself, the criterion-grade
+//! companion to the `scalar_mul_throughput` CI gate
+//! (`BENCH_scalar_mul.json`).
+
+use borndist_bench::bench_rng;
+use borndist_pairing::{decompose_g1, decompose_g2, Fr, G1Projective, G2Projective};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_g1_ladders(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let base = G1Projective::random(&mut rng);
+    let s = Fr::random(&mut rng);
+
+    let mut g = c.benchmark_group("g1_scalar_mul");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("schoolbook", |b| {
+        b.iter(|| base.mul_schoolbook(&s.to_le_bits()))
+    });
+    g.bench_function("wnaf", |b| {
+        b.iter(|| base.mul_vartime_limbs(&s.to_le_bits()))
+    });
+    g.bench_function("glv2", |b| b.iter(|| base.mul(&s)));
+    g.finish();
+}
+
+fn bench_g2_ladders(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let base = G2Projective::random(&mut rng);
+    let s = Fr::random(&mut rng);
+
+    let mut g = c.benchmark_group("g2_scalar_mul");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("schoolbook", |b| {
+        b.iter(|| base.mul_schoolbook(&s.to_le_bits()))
+    });
+    g.bench_function("wnaf", |b| {
+        b.iter(|| base.mul_vartime_limbs(&s.to_le_bits()))
+    });
+    g.bench_function("gls4", |b| b.iter(|| base.mul(&s)));
+    g.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let s = Fr::random(&mut rng);
+
+    let mut g = c.benchmark_group("scalar_decomposition");
+    g.warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function("glv2_split", |b| b.iter(|| decompose_g1(&s)));
+    g.bench_function("gls4_split", |b| b.iter(|| decompose_g2(&s)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_g1_ladders,
+    bench_g2_ladders,
+    bench_decomposition
+);
+criterion_main!(benches);

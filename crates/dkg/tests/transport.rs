@@ -146,14 +146,14 @@ fn dkg_completes_under_drop_and_reorder() {
     assert!(outputs.values().all(|o| o.is_ok()));
     assert!(metrics.bytes > 0);
 
-    // Policy seed 0x10551: loss happens to concentrate > t complaints
-    // on one dealer — the protocol correctly drops that dealing, every
-    // player still finishes, and all agree on the reduced set.
+    // Policy seed 4: loss happens to concentrate > t complaints on one
+    // dealer — the protocol correctly drops that dealing, every player
+    // still finishes, and all agree on the reduced set.
     let (outputs, _) = dkg_session(
         &cfg,
         &BTreeMap::new(),
         13,
-        &TransportKind::Channel(DeliveryPolicy::lossy(0x10551, 0.15)),
+        &TransportKind::Channel(DeliveryPolicy::lossy(4, 0.15)),
     )
     .unwrap();
     let reference = agreed_output(&outputs);
@@ -338,32 +338,54 @@ fn tcp_malformed_frames_disqualify_over_real_sockets() {
 }
 
 #[test]
-fn tcp_completes_under_drop_and_reorder() {
-    // Lossy, reordering sockets: the TCP runtime draws per-sender fault
-    // randomness (deterministic per seed, but a different stream than
-    // the in-process router's), so the *pattern* of loss differs from
-    // the channel transport — the invariants that must hold regardless:
-    // everyone finishes, everyone agrees, and complaint traffic shows up
-    // in the metering.
+fn tcp_faulted_run_matches_channel_byte_for_byte() {
+    // Lossy, duplicating, reordering sockets: both runtimes derive their
+    // injection schedules from the policy's shared per-sender and
+    // per-inbox streams, so the *same* frames are dropped, duplicated
+    // and shuffled in the *same* way over real sockets as in-process —
+    // the reliable-only parity gate, upgraded to a faulted run. The
+    // complaint traffic the loss provokes must therefore meter
+    // byte-identically too, and every player must agree.
     let params = ThresholdParams::new(2, 7).unwrap();
     let cfg = standard_config(params, 2, b"tcp-lossy", false);
-    let (outputs, metrics) = dkg_session(
+    let policy = DeliveryPolicy {
+        duplicate_rate: 0.05,
+        ..DeliveryPolicy::lossy(1, 0.15)
+    };
+    let (out_chan, m_chan) = dkg_session(
         &cfg,
         &BTreeMap::new(),
         13,
-        &TransportKind::TcpLoopback(DeliveryPolicy::lossy(1, 0.15)),
+        &TransportKind::Channel(policy.clone()),
     )
     .unwrap();
-    let reference = agreed_output(&outputs);
+    let (out_tcp, m_tcp) = dkg_session(
+        &cfg,
+        &BTreeMap::new(),
+        13,
+        &TransportKind::TcpLoopback(policy),
+    )
+    .unwrap();
     assert!(
-        outputs.values().all(|o| o.is_ok()),
+        m_chan.same_traffic(&m_tcp),
+        "identical fault schedules must meter identically: {:?} vs {:?}",
+        m_chan,
+        m_tcp
+    );
+    let ref_chan = agreed_output(&out_chan);
+    let ref_tcp = agreed_output(&out_tcp);
+    assert_eq!(ref_chan.qualified, ref_tcp.qualified);
+    assert_eq!(ref_chan.combined_commitments, ref_tcp.combined_commitments);
+    assert_eq!(ref_chan.share, ref_tcp.share);
+    assert!(
+        out_tcp.values().all(|o| o.is_ok()),
         "loss must not wedge the mesh"
     );
     assert!(
-        reference.qualified.len() >= params.n - params.t,
+        ref_tcp.qualified.len() >= params.n - params.t,
         "loss alone must not disqualify more than t dealers"
     );
-    assert!(metrics.bytes > 0);
+    assert!(m_tcp.bytes > 0);
 }
 
 #[test]

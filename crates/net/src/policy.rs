@@ -18,6 +18,8 @@
 //! not in-transit tampering.
 
 use crate::PlayerId;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::BTreeSet;
 
 /// A transport-level corruption of one player's outgoing frames in one
@@ -176,6 +178,34 @@ impl DeliveryPolicy {
                 rule.kind.apply(frame);
             }
         }
+    }
+
+    /// The fault RNG for one *sender's* drop/duplicate decisions,
+    /// deterministic per `(seed, id)`. Every transport derives its
+    /// injection schedule from this same stream — one decision drawn per
+    /// private frame the sender emits on an administratively-up link, in
+    /// emission order — so a faulted run injects the identical schedule
+    /// whether the players share a process ([`crate::ChannelTransport`])
+    /// or sit behind real sockets ([`crate::TcpTransport`]).
+    pub fn sender_rng(&self, id: PlayerId) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (0x7c9_0000_0000u64 | u64::from(id)).rotate_left(17))
+    }
+
+    /// The reorder RNG for one receiver's inbox in the round that
+    /// *consumes* it, deterministic per `(seed, deliver_round, receiver)`.
+    /// Transports shuffle the inbox with one Fisher–Yates pass over this
+    /// stream, starting from the canonical pre-shuffle order (ascending
+    /// sender id, emission order within a sender, duplicates adjacent).
+    pub fn reorder_rng(&self, deliver_round: usize, receiver: PlayerId) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed ^ u64::from(deliver_round as u32).rotate_left(32) ^ u64::from(receiver),
+        )
+    }
+
+    /// One probability draw from a fault RNG. `p <= 0` consumes no
+    /// randomness, so a reliable policy leaves every stream untouched.
+    pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+        p > 0.0 && (rng.next_u64() as f64 / u64::MAX as f64) < p
     }
 }
 

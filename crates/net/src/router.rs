@@ -5,11 +5,18 @@
 //! are *identical by construction* — a DKG run over
 //! [`crate::ChannelTransport`] with a reliable policy reports the exact
 //! same byte counts as the same run over [`crate::LockstepTransport`].
+//!
+//! Fault randomness comes from the policy's shared derivations
+//! ([`DeliveryPolicy::sender_rng`], [`DeliveryPolicy::reorder_rng`]) —
+//! per-sender streams for drop/duplicate decisions and per-inbox streams
+//! for reorder shuffles, never a router-global sequence. The TCP runtime
+//! draws from the same streams in the same order, so a *faulted* run
+//! injects the identical delivery schedule on either transport.
 
 use crate::policy::DeliveryPolicy;
 use crate::{Metrics, PlayerId, Recipient, SimError};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
@@ -32,23 +39,20 @@ pub(crate) struct FrameSend {
 pub(crate) struct Router {
     ids: Vec<PlayerId>,
     policy: DeliveryPolicy,
-    rng: StdRng,
+    /// One lazily-created fault stream per sender (the same streams a
+    /// distributed run derives locally at each player).
+    sender_rngs: BTreeMap<PlayerId, StdRng>,
     pub(crate) metrics: Metrics,
 }
 
 impl Router {
     pub(crate) fn new(ids: Vec<PlayerId>, policy: DeliveryPolicy) -> Self {
-        let rng = StdRng::seed_from_u64(policy.seed);
         Router {
             ids,
             policy,
-            rng,
+            sender_rngs: BTreeMap::new(),
             metrics: Metrics::default(),
         }
-    }
-
-    fn chance(&mut self, p: f64) -> bool {
-        p > 0.0 && (self.rng.next_u64() as f64 / u64::MAX as f64) < p
     }
 
     /// Meters and routes one round's frames into next-round inboxes.
@@ -104,8 +108,17 @@ impl Router {
                     if !self.policy.link_up(round, send.from, to) {
                         continue;
                     }
-                    let dropped = self.chance(self.policy.drop_rate);
-                    let duplicated = !dropped && self.chance(self.policy.duplicate_rate);
+                    if !self.sender_rngs.contains_key(&send.from) {
+                        let rng = self.policy.sender_rng(send.from);
+                        self.sender_rngs.insert(send.from, rng);
+                    }
+                    let rng = self
+                        .sender_rngs
+                        .get_mut(&send.from)
+                        .expect("sender stream just inserted");
+                    let dropped = DeliveryPolicy::chance(rng, self.policy.drop_rate);
+                    let duplicated =
+                        !dropped && DeliveryPolicy::chance(rng, self.policy.duplicate_rate);
                     if dropped {
                         continue;
                     }
@@ -125,10 +138,13 @@ impl Router {
         }
 
         if self.policy.reorder {
-            for inbox in inboxes.values_mut() {
-                // Fisher–Yates from the policy RNG: deterministic per seed.
+            for (id, inbox) in inboxes.iter_mut() {
+                // Fisher–Yates from the per-(receiver, deliver-round)
+                // stream; frames routed in round `r` are consumed at
+                // `r + 1`, which is the round the derivation is keyed on.
+                let mut rng = self.policy.reorder_rng(round + 1, *id);
                 for i in (1..inbox.len()).rev() {
-                    let j = (self.rng.next_u64() % (i as u64 + 1)) as usize;
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
                     inbox.swap(i, j);
                 }
             }

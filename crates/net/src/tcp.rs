@@ -34,13 +34,15 @@
 //! sender-side exactly like the shared router: frames are metered at
 //! their real encoded length *before* tampering, loss-shaped faults act
 //! only on private links, and broadcast loops back to the sender
-//! locally. Decisions come from a per-sender RNG derived from
-//! `(seed, id)` — deterministic per seed, though not draw-for-draw
-//! identical to the single-process router's global sequence. Under a
-//! reliable policy no randomness is consumed at all, so a run's merged
-//! [`Metrics`] (see [`Metrics::merge`]) are **byte-identical** to the
-//! same protocol over [`crate::ChannelTransport`] — the cross-process
-//! parity gate CI enforces.
+//! locally. Decisions come from the policy's shared per-sender and
+//! per-inbox derivations ([`DeliveryPolicy::sender_rng`],
+//! [`DeliveryPolicy::reorder_rng`]) — the in-process router draws from
+//! the *same* streams in the same order, so even a faulted run injects
+//! the identical drop/duplicate/reorder schedule on either transport,
+//! and a run's merged [`Metrics`] (see [`Metrics::merge`]) are
+//! **byte-identical** to the same protocol over
+//! [`crate::ChannelTransport`] — the cross-transport parity gate CI
+//! enforces, lossy runs included.
 
 use crate::error::{Error, TcpError};
 use crate::frame::{decode_frame, encode_frame};
@@ -48,8 +50,7 @@ use crate::policy::DeliveryPolicy;
 use crate::{BoxedPlayer, Delivered, Metrics, PlayerId, Recipient, RoundAction, SimError};
 use borndist_pairing::codec::{CodecError, Wire};
 use borndist_parallel::{with_parallelism, Parallelism};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -72,6 +73,11 @@ pub struct TcpOptions {
     pub dial_backoff: Duration,
     /// Backoff ceiling.
     pub dial_backoff_max: Duration,
+    /// Wall-clock cap on the whole outbound dialing phase (all peers).
+    /// An elapsed deadline surfaces as [`TcpError::DialFailed`] with an
+    /// `io::ErrorKind::TimedOut` cause — even when it elapses before the
+    /// first connect attempt (e.g. a zero timeout).
+    pub dial_timeout: Duration,
     /// How long the acceptor waits for the full inbound mesh.
     pub accept_timeout: Duration,
     /// A live peer silent past this deadline is treated as crashed.
@@ -85,6 +91,7 @@ impl Default for TcpOptions {
             dial_attempts: 40,
             dial_backoff: Duration::from_millis(5),
             dial_backoff_max: Duration::from_millis(500),
+            dial_timeout: Duration::from_secs(30),
             accept_timeout: Duration::from_secs(30),
             round_timeout: Duration::from_secs(60),
         }
@@ -245,17 +252,48 @@ pub fn dial_with_backoff(
     peer: PlayerId,
     addr: SocketAddr,
     attempts: u32,
-    mut backoff: Duration,
+    backoff: Duration,
     backoff_max: Duration,
 ) -> Result<TcpStream, TcpError> {
+    dial_with_deadline(peer, addr, attempts, backoff, backoff_max, None)
+}
+
+/// [`dial_with_backoff`] under an optional wall-clock deadline: gives up
+/// as soon as the deadline elapses, including *before the first connect
+/// attempt* (an already-expired deadline — e.g. a zero `dial_timeout` —
+/// returns [`TcpError::DialFailed`] with a `TimedOut` cause rather than
+/// panicking on the missing attempt error).
+///
+/// # Errors
+///
+/// [`TcpError::DialFailed`] carrying the attempts actually made and the
+/// last connect error, or a synthesized `TimedOut` when none ran.
+pub fn dial_with_deadline(
+    peer: PlayerId,
+    addr: SocketAddr,
+    attempts: u32,
+    mut backoff: Duration,
+    backoff_max: Duration,
+    deadline: Option<Instant>,
+) -> Result<TcpStream, TcpError> {
+    let expired = |now: Instant| deadline.is_some_and(|d| now >= d);
     let mut last = None;
+    let mut made = 0u32;
     for attempt in 0..attempts.max(1) {
+        if expired(Instant::now()) {
+            break;
+        }
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) => {
                 last = Some(e);
+                made = attempt + 1;
                 if attempt + 1 < attempts.max(1) {
-                    std::thread::sleep(backoff);
+                    let mut pause = backoff;
+                    if let Some(d) = deadline {
+                        pause = pause.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    std::thread::sleep(pause);
                     backoff = (backoff * 2).min(backoff_max);
                 }
             }
@@ -264,20 +302,14 @@ pub fn dial_with_backoff(
     Err(TcpError::DialFailed {
         peer,
         addr,
-        attempts: attempts.max(1),
-        last: last.expect("at least one attempt"),
+        attempts: made,
+        last: last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "dial deadline elapsed before the first connect attempt",
+            )
+        }),
     })
-}
-
-/// Per-sender fault RNG: deterministic per `(seed, id)`, so a
-/// distributed run replays exactly — without requiring the global draw
-/// order only a single-process router can have.
-fn sender_rng(seed: u64, id: PlayerId) -> StdRng {
-    StdRng::seed_from_u64(seed ^ (0x7c9_0000_0000u64 | u64::from(id)).rotate_left(17))
-}
-
-fn chance(rng: &mut StdRng, p: f64) -> bool {
-    p > 0.0 && (rng.next_u64() as f64 / u64::MAX as f64) < p
 }
 
 /// Collects the inbound half of the mesh: accepts until every expected
@@ -407,13 +439,15 @@ impl<M: Wire, O> TcpTransport<M, O> {
         };
 
         let mut streams = BTreeMap::new();
+        let dial_deadline = Instant::now() + options.dial_timeout;
         for (peer, addr) in to_dial {
-            let mut stream = dial_with_backoff(
+            let mut stream = dial_with_deadline(
                 peer,
                 addr,
                 options.dial_attempts,
                 options.dial_backoff,
                 options.dial_backoff_max,
+                Some(dial_deadline),
             )?;
             stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(options.accept_timeout))?;
@@ -512,7 +546,7 @@ impl<M: Wire, O> TcpTransport<M, O> {
     ) -> Result<(O, Metrics), Error> {
         let policy = self.options.policy.clone();
         let mut metrics = Metrics::default();
-        let mut send_rng = sender_rng(policy.seed, self.id);
+        let mut send_rng = policy.sender_rng(self.id);
         // Frames parked for a future round's barrier.
         let mut pending: BTreeMap<u32, Vec<Parked>> = BTreeMap::new();
         // Highest round each peer has closed with EndRound.
@@ -533,12 +567,10 @@ impl<M: Wire, O> TcpTransport<M, O> {
             let mut parked = pending.remove(&r32).unwrap_or_default();
             parked.sort_by_key(|p| p.from);
             if policy.reorder {
-                // Receiver-side shuffle, deterministic per (seed, id,
-                // round) — same guarantees as the router's per-inbox
-                // Fisher–Yates.
-                let mut rng = StdRng::seed_from_u64(
-                    policy.seed ^ u64::from(r32).rotate_left(32) ^ u64::from(self.id),
-                );
+                // Receiver-side shuffle from the shared per-(receiver,
+                // deliver-round) stream — draw-for-draw identical to the
+                // router's per-inbox Fisher–Yates.
+                let mut rng = policy.reorder_rng(round, self.id);
                 for i in (1..parked.len()).rev() {
                     let j = (rng.next_u64() % (i as u64 + 1)) as usize;
                     parked.swap(i, j);
@@ -605,9 +637,10 @@ impl<M: Wire, O> TcpTransport<M, O> {
                                 if !policy.link_up(round, self.id, to) {
                                     continue;
                                 }
-                                let dropped = chance(&mut send_rng, policy.drop_rate);
-                                let duplicated =
-                                    !dropped && chance(&mut send_rng, policy.duplicate_rate);
+                                let dropped =
+                                    DeliveryPolicy::chance(&mut send_rng, policy.drop_rate);
+                                let duplicated = !dropped
+                                    && DeliveryPolicy::chance(&mut send_rng, policy.duplicate_rate);
                                 if dropped {
                                     continue;
                                 }
@@ -888,6 +921,69 @@ mod tests {
         .expect("dial must succeed once the listener appears");
         drop(stream);
         listener.join().unwrap();
+    }
+
+    #[test]
+    fn dial_with_expired_deadline_errors_instead_of_panicking() {
+        // Regression: a deadline that elapses before the first connect
+        // attempt used to hit `last.expect("at least one attempt")`.
+        // It must surface as DialFailed with a TimedOut cause and zero
+        // attempts made.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let err = dial_with_deadline(
+            7,
+            addr,
+            3,
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Some(Instant::now()),
+        )
+        .unwrap_err();
+        match err {
+            TcpError::DialFailed {
+                peer,
+                attempts,
+                last,
+                ..
+            } => {
+                assert_eq!(peer, 7);
+                assert_eq!(attempts, 0, "no connect attempt fits a zero timeout");
+                assert_eq!(last.kind(), std::io::ErrorKind::TimedOut);
+            }
+            other => panic!("unexpected error: {}", other),
+        }
+    }
+
+    #[test]
+    fn dial_deadline_caps_the_backoff_schedule() {
+        // A deadline between attempts must stop the schedule early with
+        // the true connect error preserved (not the synthetic TimedOut).
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let start = Instant::now();
+        let err = dial_with_deadline(
+            2,
+            addr,
+            1_000,
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            Some(Instant::now() + Duration::from_millis(40)),
+        )
+        .unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must cut the 1000-attempt schedule short"
+        );
+        match err {
+            TcpError::DialFailed { attempts, last, .. } => {
+                assert!(attempts >= 1, "at least one real attempt ran");
+                assert_ne!(last.kind(), std::io::ErrorKind::TimedOut);
+            }
+            other => panic!("unexpected error: {}", other),
+        }
     }
 
     #[test]

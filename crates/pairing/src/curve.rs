@@ -15,6 +15,7 @@ use crate::constants::{
 use crate::fp::Fp;
 use crate::fp2::Fp2;
 use crate::fr::Fr;
+use crate::glv::{self, Decomposition};
 use crate::traits::Field;
 use core::fmt::Debug;
 use rand::RngCore;
@@ -41,6 +42,51 @@ pub trait CurveParams: 'static + Copy + Clone + Debug + Send + Sync {
     fn affine_from_bytes(bytes: &[u8]) -> Result<Affine<Self>, DecodePointError>
     where
         Self: Sized;
+
+    // --- endomorphism acceleration hooks (GLV/GLS, see `glv`) ---
+    //
+    // The decomposition identities only hold on the prime-order
+    // subgroup; every public constructor of this crate yields subgroup
+    // points, and the raw-limb paths (`mul_vartime_limbs`,
+    // `clear_cofactor`, `is_torsion_free`) never decompose.
+
+    /// Number of sub-scalars the endomorphism decomposition produces
+    /// (`1` = no endomorphism acceleration; the generic paths apply).
+    fn endo_dimensions() -> usize {
+        1
+    }
+
+    /// Upper bound on the bit length of decomposed sub-scalars.
+    fn endo_sub_bits() -> usize {
+        256
+    }
+
+    /// Splits a scalar into [`Self::endo_dimensions`] signed
+    /// sub-scalars `kᵢ` with `k ≡ Σ kᵢ·λⁱ (mod r)` for the eigenvalue
+    /// `λ` of the curve endomorphism, or `None` without one.
+    fn endo_decompose(scalar: &Fr) -> Option<Decomposition> {
+        let _ = scalar;
+        None
+    }
+
+    /// Applies the `power`-th endomorphism (`λᵖᵒʷᵉʳ`-multiplication on
+    /// the subgroup) to a projective point; `power = 0` is the identity.
+    fn endo_projective(p: &Projective<Self>, power: usize) -> Projective<Self>
+    where
+        Self: Sized,
+    {
+        debug_assert_eq!(power, 0, "curve has no endomorphism powers");
+        *p
+    }
+
+    /// The `power`-th endomorphism on an affine point.
+    fn endo_affine(p: &Affine<Self>, power: usize) -> Affine<Self>
+    where
+        Self: Sized,
+    {
+        debug_assert_eq!(power, 0, "curve has no endomorphism powers");
+        *p
+    }
 }
 
 /// Marker for the `G1` group (curve `y² = x³ + 4` over `Fp`).
@@ -69,6 +115,30 @@ impl CurveParams for G1Params {
     fn affine_from_bytes(bytes: &[u8]) -> Result<Affine<Self>, DecodePointError> {
         let arr: [u8; 48] = bytes.try_into().map_err(|_| DecodePointError::BadFlags)?;
         G1Affine::from_compressed(&arr)
+    }
+    fn endo_dimensions() -> usize {
+        2
+    }
+    fn endo_sub_bits() -> usize {
+        // GLV sub-scalars are below 2·BLS_X² < 2^129 (see `glv`).
+        129
+    }
+    fn endo_decompose(scalar: &Fr) -> Option<Decomposition> {
+        Some(glv::decompose_g1(scalar))
+    }
+    fn endo_projective(p: &Projective<Self>, power: usize) -> Projective<Self> {
+        match power {
+            0 => *p,
+            1 => glv::phi_projective(p),
+            _ => unreachable!("G1 GLV uses two dimensions"),
+        }
+    }
+    fn endo_affine(p: &Affine<Self>, power: usize) -> Affine<Self> {
+        match power {
+            0 => *p,
+            1 => glv::phi_affine(p),
+            _ => unreachable!("G1 GLV uses two dimensions"),
+        }
     }
 }
 
@@ -104,6 +174,30 @@ impl CurveParams for G2Params {
     fn affine_from_bytes(bytes: &[u8]) -> Result<Affine<Self>, DecodePointError> {
         let arr: [u8; 96] = bytes.try_into().map_err(|_| DecodePointError::BadFlags)?;
         G2Affine::from_compressed(&arr)
+    }
+    fn endo_dimensions() -> usize {
+        4
+    }
+    fn endo_sub_bits() -> usize {
+        // GLS digits are base-BLS_X digits, strictly below 2^64.
+        64
+    }
+    fn endo_decompose(scalar: &Fr) -> Option<Decomposition> {
+        Some(glv::decompose_g2(scalar))
+    }
+    fn endo_projective(p: &Projective<Self>, power: usize) -> Projective<Self> {
+        if power == 0 {
+            *p
+        } else {
+            glv::psi_projective(p, power)
+        }
+    }
+    fn endo_affine(p: &Affine<Self>, power: usize) -> Affine<Self> {
+        if power == 0 {
+            *p
+        } else {
+            glv::psi_affine(p, power)
+        }
     }
 }
 
@@ -266,37 +360,99 @@ impl<C: CurveParams> Projective<C> {
         }
     }
 
-    /// Variable-time scalar multiplication by a field scalar (width-4
-    /// wNAF; see [`Self::mul_schoolbook`] for the reference slow path).
+    /// Variable-time scalar multiplication by a field scalar.
+    ///
+    /// On curves with an efficient endomorphism (both groups of this
+    /// crate) the scalar is GLV/GLS-decomposed and a joint wNAF ladder
+    /// over `(P, λP, …)` runs with half (G1) or a quarter (G2) of the
+    /// doublings; otherwise this is width-4 wNAF. The decomposition is
+    /// only valid on the prime-order subgroup — the contract of every
+    /// public point constructor. See [`Self::mul_schoolbook`] for the
+    /// reference slow path.
     pub fn mul(&self, scalar: &Fr) -> Self {
+        if let Some(dec) = C::endo_decompose(scalar) {
+            return self.mul_decomposed(&dec);
+        }
         self.mul_vartime_limbs(&scalar.to_le_bits())
+    }
+
+    /// Builds the odd-multiples table `{1, 3, 5, 7}·P` shared by the
+    /// wNAF ladders (width 4: `2^(4-2)` entries).
+    fn odd_multiples(&self) -> [Self; 4] {
+        let twice = self.double();
+        let mut table = [Self::identity(); 4];
+        let mut cur = *self;
+        for slot in table.iter_mut() {
+            *slot = cur;
+            cur = cur.add(&twice);
+        }
+        table
+    }
+
+    /// The joint wNAF ladder over the endomorphism decomposition: one
+    /// shared doubling chain of `C::endo_sub_bits()` steps with the
+    /// per-dimension digit additions interleaved. The dimension tables
+    /// come from the base table through the endomorphism (a couple of
+    /// field multiplications per entry instead of a group addition).
+    fn mul_decomposed(&self, dec: &Decomposition) -> Self {
+        const WIDTH: usize = 4;
+        if self.is_identity() {
+            return *self;
+        }
+        let base_table = self.odd_multiples();
+        let mut tables = Vec::with_capacity(dec.len);
+        let mut digit_sets = Vec::with_capacity(dec.len);
+        let mut max_len = 0usize;
+        for (i, part) in dec.parts[..dec.len].iter().enumerate() {
+            let digits = crate::arith::wnaf_digits(&part.limbs, WIDTH);
+            max_len = max_len.max(digits.len());
+            digit_sets.push(digits);
+            let mut table = base_table;
+            if i > 0 {
+                for slot in table.iter_mut() {
+                    *slot = C::endo_projective(slot, i);
+                }
+            }
+            if part.negative {
+                for slot in table.iter_mut() {
+                    *slot = slot.neg();
+                }
+            }
+            tables.push(table);
+        }
+        let mut acc = Self::identity();
+        for j in (0..max_len).rev() {
+            acc = acc.double();
+            for (digits, table) in digit_sets.iter().zip(tables.iter()) {
+                let d = digits.get(j).copied().unwrap_or(0);
+                if d > 0 {
+                    acc = acc.add(&table[(d as usize - 1) / 2]);
+                } else if d < 0 {
+                    acc = acc.add(&table[((-d) as usize - 1) / 2].neg());
+                }
+            }
+        }
+        acc
     }
 
     /// Variable-time scalar multiplication by an arbitrary little-endian
     /// limb integer (also used for cofactor clearing and subgroup
-    /// checks).
+    /// checks, where the scalar is *not* reduced mod `r` and the point
+    /// may lie outside the subgroup — so this path never decomposes).
     ///
     /// Uses width-4 wNAF: a 4-entry table of odd multiples
     /// `{1, 3, 5, 7}·P` and on average one addition per 5 bits, versus
     /// one per 2 bits for the schoolbook ladder. Equivalence with
     /// [`Self::mul_schoolbook`] is enforced by property tests.
     pub fn mul_vartime_limbs(&self, limbs: &[u64]) -> Self {
-        const WIDTH: usize = 4;
         if self.is_identity() {
             return *self;
         }
-        let digits = crate::arith::wnaf_digits(limbs, WIDTH);
+        let digits = crate::arith::wnaf_digits(limbs, 4);
         if digits.is_empty() {
             return Self::identity();
         }
-        // Odd multiples 1P, 3P, 5P, 7P.
-        let twice = self.double();
-        let mut table = [Self::identity(); 1 << (WIDTH - 2)];
-        let mut cur = *self;
-        for slot in table.iter_mut() {
-            *slot = cur;
-            cur = cur.add(&twice);
-        }
+        let table = self.odd_multiples();
         // The top digit of a non-zero scalar is positive (the remainder
         // is non-negative throughout the recoding), so the accumulator
         // starts from a table entry with no leading doublings.

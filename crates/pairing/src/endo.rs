@@ -89,18 +89,18 @@ fn neg_g2(p: &G2Affine) -> G2Affine {
 
 // --- G2: untwist-Frobenius-twist ---
 
-struct PsiG2 {
+pub(crate) struct PsiG2 {
     /// Multiplier of the conjugated x-coordinate.
-    cx: Fp2,
+    pub(crate) cx: Fp2,
     /// Multiplier of the conjugated y-coordinate.
-    cy: Fp2,
+    pub(crate) cy: Fp2,
     /// `true` if the subgroup eigenvalue is `−BLS_X` (the BLS parameter
     /// is negative on this curve), resolved by the generator probe.
-    negative_eigenvalue: bool,
+    pub(crate) negative_eigenvalue: bool,
 }
 
 impl PsiG2 {
-    fn apply(&self, p: &G2Affine) -> G2Affine {
+    pub(crate) fn apply(&self, p: &G2Affine) -> G2Affine {
         G2Affine {
             x: p.x.frobenius_p() * self.cx,
             y: p.y.frobenius_p() * self.cy,
@@ -116,7 +116,7 @@ impl PsiG2 {
     }
 }
 
-fn psi_g2() -> &'static PsiG2 {
+pub(crate) fn psi_g2() -> &'static PsiG2 {
     static CELL: OnceLock<PsiG2> = OnceLock::new();
     CELL.get_or_init(|| {
         let xi = Fp2::new(Fp::one(), Fp::one());
@@ -157,20 +157,20 @@ pub fn g2_in_subgroup(p: &G2Affine) -> bool {
 
 // --- G1: GLV ---
 
-struct PhiG1 {
+pub(crate) struct PhiG1 {
     /// Nontrivial cube root of unity in `Fp`.
-    beta: Fp,
+    pub(crate) beta: Fp,
     /// `BLS_X²` as limbs (a 128-bit scalar).
-    x_squared: [u64; 2],
+    pub(crate) x_squared: [u64; 2],
     /// `true` if the subgroup eigenvalue is `x² − 1` (check
     /// `φ(P) + P = [x²]P`), `false` if it is `−x²` (check
     /// `φ(P) + [x²]P = O`) — which one depends on the β the derivation
     /// lands on; resolved by the generator probe.
-    lambda_is_x2_minus_1: bool,
+    pub(crate) lambda_is_x2_minus_1: bool,
 }
 
 impl PhiG1 {
-    fn apply(&self, p: &G1Affine) -> G1Affine {
+    pub(crate) fn apply(&self, p: &G1Affine) -> G1Affine {
         G1Affine {
             x: p.x * self.beta,
             y: p.y,
@@ -193,7 +193,7 @@ impl PhiG1 {
     }
 }
 
-fn phi_g1() -> &'static PhiG1 {
+pub(crate) fn phi_g1() -> &'static PhiG1 {
     static CELL: OnceLock<PhiG1> = OnceLock::new();
     CELL.get_or_init(|| {
         let exp = exp_third();

@@ -96,8 +96,13 @@ impl Fp2 {
 
     /// Multiplicative inverse, `None` for zero.
     pub fn invert(&self) -> Option<Self> {
-        // 1/(c0 + c1 u) = (c0 - c1 u) / (c0^2 + c1^2)
-        let norm = self.c0.square() + self.c1.square();
+        // 1/(c0 + c1 u) = (c0 - c1 u) / (c0^2 + c1^2); the norm sums two
+        // unreduced squares (< 2p² < p·R) under one Montgomery reduction.
+        let mut wide = Fp::add_wide(
+            &Fp::mul_wide(&self.c0.0, &self.c0.0),
+            &Fp::mul_wide(&self.c1.0, &self.c1.0),
+        );
+        let norm = Fp(Fp::montgomery_reduce(&mut wide));
         norm.invert()
             .map(|inv| Fp2::new(self.c0 * inv, -(self.c1 * inv)))
     }
@@ -182,11 +187,20 @@ impl core::ops::Neg for Fp2 {
 impl core::ops::Mul for Fp2 {
     type Output = Self;
     fn mul(self, rhs: Self) -> Self {
-        // Karatsuba: 3 Fp multiplications.
-        let aa = self.c0 * rhs.c0;
-        let bb = self.c1 * rhs.c1;
-        let cross = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
-        Fp2::new(aa - bb, cross - aa - bb)
+        // Karatsuba with lazy reduction: 3 double-width products but only
+        // 2 Montgomery reductions. The unreduced combinations stay below
+        // the reducer's `p·R` input bound (each product is `< p²` and
+        // `sub_wide`'s borrow correction adds `p² ≡ 0 mod p`, so results
+        // remain `< 2p² < p·R`).
+        let aa = Fp::mul_wide(&self.c0.0, &rhs.c0.0);
+        let bb = Fp::mul_wide(&self.c1.0, &rhs.c1.0);
+        let cross = Fp::mul_wide(&(self.c0 + self.c1).0, &(rhs.c0 + rhs.c1).0);
+        let mut re = Fp::sub_wide(&aa, &bb);
+        let mut im = Fp::sub_wide(&Fp::sub_wide(&cross, &aa), &bb);
+        Fp2::new(
+            Fp(Fp::montgomery_reduce(&mut re)),
+            Fp(Fp::montgomery_reduce(&mut im)),
+        )
     }
 }
 impl core::ops::AddAssign for Fp2 {

@@ -1,0 +1,426 @@
+//! GLV/GLS scalar decomposition for endomorphism-accelerated scalar
+//! multiplication.
+//!
+//! [`crate::endo`] already derives the two curve endomorphisms for
+//! subgroup membership checks; this module reuses them for *speed*
+//! (ROADMAP item 2):
+//!
+//! * **G1 (2-dimensional GLV)** — `φ(x, y) = (βx, y)` acts on the
+//!   subgroup as multiplication by a primitive cube root of unity
+//!   `λ mod r`. A 255-bit scalar `k` splits into `k = k₁ + k₂λ (mod r)`
+//!   with `|kᵢ| < 2^129` by Babai rounding against the kernel lattice of
+//!   `(k₁, k₂) ↦ k₁ + k₂λ`: basis `v₁ = (X² − 1, −1)`, `v₂ = (1, X²)`
+//!   (determinant exactly `r`; constants generated and cross-checked by
+//!   `tools/gen_pairing_constants.py`). The joint ladder over
+//!   `(P, φP)` then needs half the doublings.
+//! * **G2 (4-dimensional GLS)** — `ψ` (untwist-Frobenius-twist) acts as
+//!   multiplication by `e = ±BLS_X` (64 bits). Because
+//!   `r = X⁴ − X² + 1`, any `k < r` is *exactly*
+//!   `a₀ + a₁X + a₂X² + a₃X³` in base `X = |e|` with digits
+//!   `aᵢ < 2^64`, so `k = Σ (±aᵢ)·eⁱ` with alternating signs when the
+//!   eigenvalue is negative — a quarter-length joint ladder over
+//!   `(Q, ψQ, ψ²Q, ψ³Q)` with no rounding error at all.
+//!
+//! Both decompositions are only valid on the prime-order subgroup (the
+//! eigenvalue relations hold nowhere else); every public constructor of
+//! this crate yields subgroup points, and the schoolbook ladder remains
+//! as the property-test reference (`tests/scalar_mul_properties.rs`).
+//!
+//! The eigenvalue *conventions* (which cube root `β` lands on, the sign
+//! of the `ψ` eigenvalue) are resolved at first use by the
+//! generator probes in [`crate::endo`]; this module folds them into a
+//! normalized form — `φ_eff` below is always the `λ = X² − 1`
+//! eigenfunction (using `β²` when the probe resolved the other root),
+//! so a single lattice basis serves both conventions.
+
+use crate::constants::{BLS_X, GLV_G1_FLOOR, GLV_G2_FLOOR, GLV_LAMBDA_1, GLV_X2};
+use crate::curve::{G1Affine, G1Projective, G2Affine, G2Projective};
+use crate::endo::{phi_g1, psi_g2};
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::fr::Fr;
+use std::sync::OnceLock;
+
+/// Maximum number of sub-scalars a decomposition can produce.
+pub const MAX_DIMS: usize = 4;
+
+/// One signed sub-scalar: a magnitude of at most three limbs plus a
+/// sign. G1 sub-scalars use up to 129 bits (3 limbs), G2 digits one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubScalar {
+    /// `true` if the sub-scalar is negative.
+    pub negative: bool,
+    /// Little-endian magnitude.
+    pub limbs: [u64; 3],
+}
+
+impl SubScalar {
+    /// Bit length of the magnitude.
+    pub fn bits(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return 64 * i + (64 - l.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+}
+
+/// A scalar split into `len` signed sub-scalars: the represented value
+/// is `Σ parts[i] · λⁱ (mod r)` where `λ` is the eigenvalue of the
+/// curve's endomorphism.
+#[derive(Clone, Copy, Debug)]
+pub struct Decomposition {
+    pub parts: [SubScalar; MAX_DIMS],
+    pub len: usize,
+}
+
+// ---- limb helpers (local: the shapes here are too small and odd for
+// the generic field machinery) ----
+
+/// `a · b` for a 4-limb `a` and an n-limb `b`, truncated to 9 limbs
+/// (enough for every product formed here).
+fn mul_limbs(a: &[u64; 4], b: &[u64]) -> [u64; 9] {
+    let mut t = [0u64; 9];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, c) = crate::arith::mac(t[i + j], ai, bj, carry);
+            t[i + j] = lo;
+            carry = c;
+        }
+        t[i + b.len()] = carry;
+    }
+    t
+}
+
+/// `a − b` over 4 limbs; requires `a >= b`.
+fn sub4(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d, bo) = crate::arith::sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+    }
+    debug_assert_eq!(borrow, 0, "sub4 underflow");
+    out
+}
+
+/// `true` iff `a < b` over 4 limbs.
+fn lt4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// Splits `k` against the `λ = X² − 1` lattice: returns `(k₁, k₂)` with
+/// `k ≡ k₁ + k₂λ (mod r)`, `k₁ ∈ [0, 2X²)` and `k₂ ∈ (−2, 2X²)`.
+///
+/// Babai rounding with floor division: `c₁ = ⌊k·2^384·X²/r⌋/2^384`,
+/// `c₂ = ⌊k·2^384/r⌋/2^384`, each at most 2 below the real quotient, so
+/// `k₁ = d₁(X² − 1) + d₂` and `k₂ = d₂X² − d₁` for `d₁, d₂ ∈ [0, 2)` —
+/// both under 130 bits, with `k₁` never negative and `k₂ ≥ −1`.
+pub fn split_glv2(k: &[u64; 4]) -> (SubScalar, SubScalar) {
+    // c1 = floor(k * GLV_G1_FLOOR / 2^384): limbs 6.. of the product.
+    let p1 = mul_limbs(k, &GLV_G1_FLOOR);
+    let c1 = [p1[6], p1[7], 0, 0];
+    let p2 = mul_limbs(k, &GLV_G2_FLOOR);
+    let c2 = [p2[6], 0, 0, 0];
+
+    // k1 = k - c1*(X^2 - 1) - c2, guaranteed non-negative.
+    let x2m1 = {
+        let mut v = GLV_X2;
+        v[0] -= 1; // X^2 is even and non-zero in the low limb: no borrow.
+        v
+    };
+    let t1 = mul_limbs(&c1, &x2m1);
+    debug_assert!(t1[4..].iter().all(|&l| l == 0), "c1*(X^2-1) fits 4 limbs");
+    let mut k1 = sub4(k, &[t1[0], t1[1], t1[2], t1[3]]);
+    k1 = sub4(&k1, &c2);
+
+    // k2 = c1 - c2*X^2, in (-2, 2X^2).
+    let t2 = mul_limbs(&c2, &GLV_X2);
+    debug_assert!(t2[4..].iter().all(|&l| l == 0), "c2*X^2 fits 4 limbs");
+    let t2 = [t2[0], t2[1], t2[2], t2[3]];
+    let (neg2, mag2) = if lt4(&c1, &t2) {
+        (true, sub4(&t2, &c1))
+    } else {
+        (false, sub4(&c1, &t2))
+    };
+
+    debug_assert_eq!(k1[3], 0, "k1 < 2^129");
+    debug_assert_eq!(mag2[3], 0, "k2 magnitude < 2^129");
+    (
+        SubScalar {
+            negative: false,
+            limbs: [k1[0], k1[1], k1[2]],
+        },
+        SubScalar {
+            negative: neg2,
+            limbs: [mag2[0], mag2[1], mag2[2]],
+        },
+    )
+}
+
+/// Splits `k < r` into base-`X` digits `k = Σ aᵢ Xⁱ` (`aᵢ < 2^64`,
+/// exactly four digits since `r < X⁴`), signed by `signⁱ` so that
+/// `k = Σ parts[i]·eⁱ` for the ψ eigenvalue `e = sign·X`.
+pub fn split_gls4(k: &[u64; 4], eigenvalue_negative: bool) -> [SubScalar; 4] {
+    let mut v = *k;
+    let mut digits = [0u64; 4];
+    for d in digits.iter_mut() {
+        // Divide the (shrinking) value by the 64-bit X.
+        let mut rem: u128 = 0;
+        let mut q = [0u64; 4];
+        for i in (0..4).rev() {
+            let cur = (rem << 64) | v[i] as u128;
+            q[i] = (cur / BLS_X as u128) as u64;
+            rem = cur % BLS_X as u128;
+        }
+        *d = rem as u64;
+        v = q;
+    }
+    debug_assert_eq!(v, [0u64; 4], "k < X^4 leaves no high digit");
+    let mut out = [SubScalar::default(); 4];
+    for (i, (slot, &digit)) in out.iter_mut().zip(digits.iter()).enumerate() {
+        *slot = SubScalar {
+            // X = sign·e, so the coefficient of e^i carries sign^i.
+            negative: eigenvalue_negative && i % 2 == 1 && digit != 0,
+            limbs: [digit, 0, 0],
+        };
+    }
+    out
+}
+
+// ---- endomorphism application, normalized to fixed eigenvalues ----
+
+/// Cached coefficients for applying `φ_eff` (always the `λ = X² − 1`
+/// eigenfunction) and `ψⁱ` with fixed eigenvalue sign.
+struct EndoCoeffs {
+    /// `x ↦ beta_eff·x` multiplies a G1 point by `X² − 1` on the
+    /// subgroup (`β` or `β²` depending on the probed convention).
+    beta_eff: Fp,
+    /// `ψⁱ(x) = frobᶦ(x)·cx_pow[i]` for `i = 1..3`.
+    cx_pow: [Fp2; 3],
+    /// `ψⁱ(y) = frobᶦ(y)·cy_pow[i]`.
+    cy_pow: [Fp2; 3],
+    /// `true` if ψ's subgroup eigenvalue is `−BLS_X`.
+    psi_eigenvalue_negative: bool,
+}
+
+fn endo_coeffs() -> &'static EndoCoeffs {
+    static CELL: OnceLock<EndoCoeffs> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let phi = phi_g1();
+        // If the probe resolved lambda = -X^2 for beta, then beta^2 (the
+        // other nontrivial cube root) has eigenvalue (-X^2)^2 = X^2 - 1.
+        let beta_eff = if phi.lambda_is_x2_minus_1 {
+            phi.beta
+        } else {
+            phi.beta.square()
+        };
+        let psi = psi_g2();
+        // psi^i(x) = frob^i(x) * prod_{j<i} frob^j(cx); frob on Fp2 is
+        // conjugation, so the products telescope as below.
+        let cx1 = psi.cx;
+        let cx2 = cx1.conjugate() * psi.cx;
+        let cx3 = cx2.conjugate() * psi.cx;
+        let cy1 = psi.cy;
+        let cy2 = cy1.conjugate() * psi.cy;
+        let cy3 = cy2.conjugate() * psi.cy;
+        EndoCoeffs {
+            beta_eff,
+            cx_pow: [cx1, cx2, cx3],
+            cy_pow: [cy1, cy2, cy3],
+            psi_eigenvalue_negative: psi.negative_eigenvalue,
+        }
+    })
+}
+
+/// `true` if ψ acts as `−BLS_X` on the G2 subgroup.
+pub fn psi_eigenvalue_negative() -> bool {
+    endo_coeffs().psi_eigenvalue_negative
+}
+
+/// `φ_eff(P) = [X² − 1]P` on the G1 subgroup (one `Fp` multiplication).
+/// Valid in Jacobian coordinates: scaling `X` scales the affine
+/// x-coordinate identically.
+pub(crate) fn phi_projective(p: &G1Projective) -> G1Projective {
+    G1Projective {
+        x: p.x * endo_coeffs().beta_eff,
+        y: p.y,
+        z: p.z,
+    }
+}
+
+/// `φ_eff` on an affine point.
+pub(crate) fn phi_affine(p: &G1Affine) -> G1Affine {
+    G1Affine {
+        x: p.x * endo_coeffs().beta_eff,
+        y: p.y,
+        infinity: p.infinity,
+    }
+}
+
+/// `ψⁱ(P)` for `i = 1..3` in Jacobian coordinates: conjugation commutes
+/// with the coordinate quotients, so
+/// `ψⁱ(X:Y:Z) = (frobⁱ(X)·cxᵢ·frobⁱ(Z²)/frobⁱ(Z²), …)` collapses to a
+/// coordinate-wise map with `Z ↦ frobⁱ(Z)`.
+pub(crate) fn psi_projective(p: &G2Projective, power: usize) -> G2Projective {
+    debug_assert!((1..=3).contains(&power));
+    let c = endo_coeffs();
+    let frob = |v: Fp2| if power % 2 == 1 { v.conjugate() } else { v };
+    G2Projective {
+        x: frob(p.x) * c.cx_pow[power - 1],
+        y: frob(p.y) * c.cy_pow[power - 1],
+        z: frob(p.z),
+    }
+}
+
+/// `ψⁱ(P)` on an affine point (`frobⁱ(1) = 1`, so affine stays affine).
+pub(crate) fn psi_affine(p: &G2Affine, power: usize) -> G2Affine {
+    debug_assert!((1..=3).contains(&power));
+    let c = endo_coeffs();
+    let frob = |v: Fp2| if power % 2 == 1 { v.conjugate() } else { v };
+    G2Affine {
+        x: frob(p.x) * c.cx_pow[power - 1],
+        y: frob(p.y) * c.cy_pow[power - 1],
+        infinity: p.infinity,
+    }
+}
+
+/// Decomposes an `Fr` scalar for the G1 joint ladder.
+pub fn decompose_g1(scalar: &Fr) -> Decomposition {
+    let (k1, k2) = split_glv2(&scalar.to_canonical_limbs());
+    let mut parts = [SubScalar::default(); MAX_DIMS];
+    parts[0] = k1;
+    parts[1] = k2;
+    Decomposition { parts, len: 2 }
+}
+
+/// Decomposes an `Fr` scalar for the G2 joint ladder.
+pub fn decompose_g2(scalar: &Fr) -> Decomposition {
+    let digits = split_gls4(&scalar.to_canonical_limbs(), psi_eigenvalue_negative());
+    let mut parts = [SubScalar::default(); MAX_DIMS];
+    parts[..4].copy_from_slice(&digits);
+    Decomposition { parts, len: 4 }
+}
+
+/// `λ = X² − 1` as an `Fr` element (the eigenvalue of `φ_eff`).
+pub fn glv_lambda() -> Fr {
+    Fr::from_canonical_limbs(GLV_LAMBDA_1)
+}
+
+/// The ψ eigenvalue `e = ±BLS_X` as an `Fr` element.
+pub fn gls_eigenvalue() -> Fr {
+    let e = Fr::from_u64(BLS_X);
+    if psi_eigenvalue_negative() {
+        -e
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x61f5)
+    }
+
+    fn sub_scalar_fr(s: &SubScalar) -> Fr {
+        let m = Fr::from_canonical_limbs([s.limbs[0], s.limbs[1], s.limbs[2], 0]);
+        if s.negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    #[test]
+    fn glv2_is_congruent_and_short() {
+        let mut r = rng();
+        let lambda = glv_lambda();
+        let mut samples: Vec<Fr> = (0..64).map(|_| Fr::random(&mut r)).collect();
+        samples.extend([Fr::zero(), Fr::one(), -Fr::one(), lambda, -lambda]);
+        for k in samples {
+            let (k1, k2) = split_glv2(&k.to_canonical_limbs());
+            assert!(k1.bits() <= 129, "k1 has {} bits", k1.bits());
+            assert!(k2.bits() <= 129, "k2 has {} bits", k2.bits());
+            assert_eq!(
+                sub_scalar_fr(&k1) + sub_scalar_fr(&k2) * lambda,
+                k,
+                "decomposition must be congruent mod r"
+            );
+        }
+    }
+
+    #[test]
+    fn gls4_is_congruent_and_short() {
+        let mut r = rng();
+        let e = gls_eigenvalue();
+        let mut samples: Vec<Fr> = (0..64).map(|_| Fr::random(&mut r)).collect();
+        samples.extend([Fr::zero(), Fr::one(), -Fr::one()]);
+        for k in samples {
+            let parts = split_gls4(&k.to_canonical_limbs(), psi_eigenvalue_negative());
+            let mut acc = Fr::zero();
+            let mut pow = Fr::one();
+            for p in &parts {
+                assert!(p.bits() <= 64, "digit has {} bits", p.bits());
+                acc += sub_scalar_fr(p) * pow;
+                pow *= e;
+            }
+            assert_eq!(acc, k, "base-X digits must recompose mod r");
+        }
+    }
+
+    #[test]
+    fn phi_eff_matches_lambda_multiplication() {
+        let mut r = rng();
+        let lambda = glv_lambda();
+        for _ in 0..4 {
+            let p = G1Projective::random(&mut r);
+            assert_eq!(phi_projective(&p), p.mul_schoolbook(&lambda.to_le_bits()));
+            let a = p.to_affine();
+            assert_eq!(
+                phi_affine(&a).to_projective(),
+                p.mul_schoolbook(&lambda.to_le_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn psi_powers_match_eigenvalue_multiplication() {
+        let mut r = rng();
+        let e = gls_eigenvalue();
+        for _ in 0..2 {
+            let q = G2Projective::random(&mut r);
+            let mut want = q;
+            for power in 1..=3usize {
+                want = want.mul_schoolbook(&e.to_le_bits());
+                assert_eq!(psi_projective(&q, power), want, "psi^{}", power);
+                assert_eq!(
+                    psi_affine(&q.to_affine(), power).to_projective(),
+                    want,
+                    "affine psi^{}",
+                    power
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_points_stay_identity() {
+        assert!(phi_projective(&G1Projective::identity()).is_identity());
+        assert!(psi_projective(&G2Projective::identity(), 2).is_identity());
+        assert!(phi_affine(&G1Affine::identity()).is_identity());
+        assert!(psi_affine(&G2Affine::identity(), 3).is_identity());
+    }
+}

@@ -57,6 +57,7 @@ mod fp12;
 mod fp2;
 mod fp6;
 mod fr;
+mod glv;
 mod hash_to_curve;
 mod msm;
 mod pairing;
@@ -75,6 +76,7 @@ pub use fp12::Fp12;
 pub use fp2::Fp2;
 pub use fp6::Fp6;
 pub use fr::Fr;
+pub use glv::{decompose_g1, decompose_g2, gls_eigenvalue, glv_lambda, Decomposition, SubScalar};
 pub use hash_to_curve::{hash_to_fr, hash_to_g1, hash_to_g1_vector, hash_to_g2};
 pub use msm::msm;
 pub use pairing::{

@@ -97,12 +97,48 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         return acc;
     }
 
-    let window = window_size(bases.len());
-    let num_windows = 256_usize.div_ceil(window);
+    // GLV/GLS expansion: trade each point for `dims` endomorphism images
+    // with sub-scalars of `endo_sub_bits()` bits, shrinking the doubling
+    // chain (and the number of window passes) by the same factor. A
+    // negative sub-scalar negates the image instead (one `Fp` negation).
+    let dims = C::endo_dimensions();
+    if dims > 1 {
+        let mut exp_bases = Vec::with_capacity(bases.len() * dims);
+        let mut exp_bits = Vec::with_capacity(bases.len() * dims);
+        for (base, scalar) in bases.iter().zip(scalars.iter()) {
+            let dec = C::endo_decompose(scalar).expect("dims > 1 implies a decomposition");
+            for (i, part) in dec.parts[..dec.len].iter().enumerate() {
+                if part.limbs == [0; 3] {
+                    continue;
+                }
+                let image = C::endo_affine(base, i);
+                exp_bases.push(if part.negative { image.neg() } else { image });
+                exp_bits.push([part.limbs[0], part.limbs[1], part.limbs[2], 0]);
+            }
+        }
+        return msm_bucketed(&exp_bases, &exp_bits, C::endo_sub_bits());
+    }
+
     let bits: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_le_bits()).collect();
+    msm_bucketed(bases, &bits, 256)
+}
+
+/// The windowed bucket core shared by the direct and endo-expanded
+/// paths: `Σ bits[i]·bases[i]` where each `bits[i]` is a little-endian
+/// integer of at most `total_bits` bits.
+fn msm_bucketed<C: CurveParams>(
+    bases: &[Affine<C>],
+    bits: &[[u64; 4]],
+    total_bits: usize,
+) -> Projective<C> {
+    if bases.is_empty() {
+        return Projective::identity();
+    }
+    let window = window_size(bases.len().max(4));
+    let num_windows = total_bits.div_ceil(window);
 
     let windows: Vec<usize> = (0..num_windows).collect();
-    let compute = |w: &usize| window_sum(bases, &bits, *w * window, window);
+    let compute = |w: &usize| window_sum(bases, bits, *w * window, window);
     let sums: Vec<Projective<C>> =
         if bases.len() >= PAR_MIN_POINTS && borndist_parallel::current_threads() > 1 {
             borndist_parallel::par_map(&windows, compute)

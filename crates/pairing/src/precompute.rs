@@ -8,7 +8,12 @@
 //! (normalized with one batched inversion at build time), so a 255-bit
 //! scalar multiplication becomes ~64 *mixed additions and zero
 //! doublings* — roughly a 4–6× speedup over the wNAF variable-base path,
-//! which itself beats the schoolbook ladder.
+//! which itself beats the schoolbook ladder. On the two curve groups the
+//! table additionally exploits the GLV/GLS decomposition: it stores only
+//! the sub-scalar window range (33 windows for `G1`, 16 for `G2`) and
+//! reaches the remaining dimensions by applying the endomorphism to the
+//! looked-up entries, shrinking build time and memory 2–4× at unchanged
+//! multiplication cost.
 //!
 //! Equivalence with the schoolbook slow path is enforced by property
 //! tests (`tests/scalar_mul_properties.rs`), including the edge scalars
@@ -40,8 +45,12 @@ pub type G1Table = FixedBaseTable<G1Params>;
 pub type G2Table = FixedBaseTable<G2Params>;
 
 impl<C: CurveParams> FixedBaseTable<C> {
-    /// Window width used by [`Self::new`]: 64 windows of 15 entries
-    /// (960 affine points, ~45 KiB in `G1`, ~90 KiB in `G2`).
+    /// Window width used by [`Self::new`]. On a curve without
+    /// endomorphism acceleration that is 64 windows of 15 entries; with
+    /// GLV/GLS decomposition the table only spans the sub-scalar range —
+    /// 33 windows (~23 KiB) in `G1`, 16 windows (~45 KiB) in `G2` — at
+    /// the same per-mul cost, since the missing windows are reached
+    /// through the endomorphism instead of storage.
     pub const DEFAULT_WINDOW: usize = 4;
 
     /// Builds the table for `base` with the default window width.
@@ -68,7 +77,15 @@ impl<C: CurveParams> FixedBaseTable<C> {
     /// Panics unless `1 <= window <= 8`.
     pub fn with_window(base: &Projective<C>, window: usize) -> Self {
         assert!((1..=8).contains(&window), "window width out of range");
-        let num_windows = 256usize.div_ceil(window);
+        // With a decomposition the table only has to cover one
+        // sub-scalar; [`Self::mul`] reaches the other dimensions by
+        // applying the endomorphism to the looked-up entries.
+        let total_bits = if C::endo_dimensions() > 1 {
+            C::endo_sub_bits()
+        } else {
+            256
+        };
+        let num_windows = total_bits.div_ceil(window);
         let entries = (1usize << window) - 1;
         let mut flat: Vec<Projective<C>> = Vec::with_capacity(num_windows * entries);
         if borndist_parallel::current_threads() <= 1 {
@@ -131,8 +148,29 @@ impl<C: CurveParams> FixedBaseTable<C> {
     }
 
     /// Fixed-base scalar multiplication: `scalar · base` using only
-    /// table lookups and mixed additions (no doublings).
+    /// table lookups and mixed additions (no doublings). On a curve with
+    /// GLV/GLS the scalar is decomposed and each sub-scalar walks the
+    /// (shorter) table with the matching endomorphism power applied to
+    /// every looked-up entry — the total addition count is unchanged but
+    /// the table is 2–4× smaller.
     pub fn mul(&self, scalar: &Fr) -> Projective<C> {
+        if let Some(dec) = C::endo_decompose(scalar) {
+            let mut acc = Projective::identity();
+            for (i, part) in dec.parts[..dec.len].iter().enumerate() {
+                let limbs = [part.limbs[0], part.limbs[1], part.limbs[2], 0];
+                for (w, table) in self.tables.iter().enumerate() {
+                    let idx = extract_bits(&limbs, w * self.window, self.window);
+                    if idx > 0 {
+                        let mut entry = C::endo_affine(&table[idx - 1], i);
+                        if part.negative {
+                            entry = entry.neg();
+                        }
+                        acc = acc.add_affine(&entry);
+                    }
+                }
+            }
+            return acc;
+        }
         let limbs = scalar.to_le_bits();
         let mut acc = Projective::identity();
         for (w, table) in self.tables.iter().enumerate() {

@@ -1,13 +1,16 @@
 //! Property tests proving every scalar-multiplication fast path agrees
 //! with the schoolbook double-and-add slow path
-//! ([`Projective::mul_schoolbook`]): width-4 wNAF ([`Projective::mul`]),
-//! fixed-base window tables ([`FixedBaseTable`]), Pippenger MSM
-//! ([`msm`]), and the batched-inversion affine conversion — on random
-//! scalars, the edge scalars `0`, `1`, `r - 1`, identity inputs, and
-//! duplicated bases.
+//! ([`Projective::mul_schoolbook`]): the GLV/GLS joint ladders behind
+//! [`Projective::mul`], fixed-base window tables ([`FixedBaseTable`]),
+//! Pippenger MSM ([`msm`]), and the batched-inversion affine conversion
+//! — on random scalars, the edge scalars `0`, `1`, `r - 1`, the
+//! endomorphism eigenvalues themselves, identity inputs, and duplicated
+//! bases. The GLV-2 / GLS-4 decompositions additionally carry their own
+//! congruence and bit-bound properties.
 
 use borndist_pairing::{
-    batch_invert, msm, FixedBaseTable, Fp, Fr, G1Affine, G1Projective, G2Projective,
+    batch_invert, decompose_g1, decompose_g2, gls_eigenvalue, glv_lambda, msm, FixedBaseTable, Fp,
+    Fr, G1Affine, G1Projective, G2Projective, SubScalar,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -22,9 +25,35 @@ fn r_minus_one() -> Fr {
     -Fr::one()
 }
 
-/// The scalars every equivalence check must survive.
+/// The scalars every equivalence check must survive: the classic edges
+/// plus the endomorphism eigenvalues, which sit exactly on the GLV/GLS
+/// decomposition's rounding boundaries.
 fn edge_scalars() -> Vec<Fr> {
-    vec![Fr::zero(), Fr::one(), r_minus_one(), Fr::from_u64(2)]
+    vec![
+        Fr::zero(),
+        Fr::one(),
+        r_minus_one(),
+        Fr::from_u64(2),
+        glv_lambda(),
+        -glv_lambda(),
+        gls_eigenvalue(),
+        -gls_eigenvalue(),
+    ]
+}
+
+/// Evaluates a signed sub-scalar back into `Fr` through independent
+/// field arithmetic (base-2⁶⁴ Horner over the magnitude limbs).
+fn sub_scalar_fr(s: &SubScalar) -> Fr {
+    let two64 = Fr::from_u64(2).pow_vartime(&[64]);
+    let mut mag = Fr::zero();
+    for &l in s.limbs.iter().rev() {
+        mag = mag * two64 + Fr::from_u64(l);
+    }
+    if s.negative {
+        -mag
+    } else {
+        mag
+    }
 }
 
 proptest! {
@@ -119,6 +148,55 @@ proptest! {
                 acc + b.to_projective().mul_schoolbook(&s.to_le_bits())
             });
         prop_assert_eq!(msm(&bases, &scalars), want);
+    }
+
+    /// The GLV-2 split is congruent (`k ≡ k₁ + k₂λ mod r`) with both
+    /// sub-scalars at most 129 bits, for random and edge scalars.
+    #[test]
+    fn glv2_decomposition_congruent_and_short(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let lambda = glv_lambda();
+        let mut scalars = edge_scalars();
+        scalars.push(Fr::random(&mut rng));
+        for k in &scalars {
+            let dec = decompose_g1(k);
+            prop_assert_eq!(dec.len, 2);
+            let (k1, k2) = (&dec.parts[0], &dec.parts[1]);
+            prop_assert!(k1.bits() <= 129, "k1 has {} bits", k1.bits());
+            prop_assert!(k2.bits() <= 129, "k2 has {} bits", k2.bits());
+            prop_assert!(!k1.negative, "k1 is never negative by construction");
+            prop_assert_eq!(sub_scalar_fr(k1) + sub_scalar_fr(k2) * lambda, *k);
+            // The Fr convenience method is the same split.
+            let via_fr = k.decompose_glv();
+            prop_assert_eq!(sub_scalar_fr(&via_fr.parts[0]), sub_scalar_fr(k1));
+            prop_assert_eq!(sub_scalar_fr(&via_fr.parts[1]), sub_scalar_fr(k2));
+        }
+    }
+
+    /// The GLS-4 split recomposes over powers of the ψ eigenvalue with
+    /// 64-bit digits, for random and edge scalars.
+    #[test]
+    fn gls4_decomposition_congruent_and_short(seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let e = gls_eigenvalue();
+        let mut scalars = edge_scalars();
+        scalars.push(Fr::random(&mut rng));
+        for k in &scalars {
+            let dec = decompose_g2(k);
+            prop_assert_eq!(dec.len, 4);
+            let mut acc = Fr::zero();
+            let mut pow = Fr::one();
+            for part in &dec.parts[..dec.len] {
+                prop_assert!(part.bits() <= 64, "digit has {} bits", part.bits());
+                acc += sub_scalar_fr(part) * pow;
+                pow *= e;
+            }
+            prop_assert_eq!(acc, *k);
+            let via_fr = k.decompose_gls();
+            for (a, b) in via_fr.parts.iter().zip(dec.parts.iter()) {
+                prop_assert_eq!(sub_scalar_fr(a), sub_scalar_fr(b));
+            }
+        }
     }
 
     /// Batched inversion agrees with element-wise inversion and leaves

@@ -9,6 +9,14 @@ matching the existing generator/Frobenius constants):
 * ``FROB1_GAMMA`` — the p-power Frobenius coefficients
   ``gamma_i = xi^(i(p-1)/6) in Fp2`` for ``i = 0..5``, with ``xi = 1 + u``
   the sextic non-residue of the tower.
+* ``GLV_*`` — the 2-dimensional GLV lattice for the scalar decomposition
+  in ``crates/pairing/src/glv.rs``: the eigenvalue ``lambda = X^2 - 1``
+  of the cube-root-of-unity endomorphism on G1 (and its conjugate
+  ``-X^2``), the reduced basis ``v1 = (X^2 - 1, -1)``, ``v2 = (1, X^2)``
+  of the kernel of ``(k1, k2) -> k1 + k2*lambda mod r`` (determinant
+  exactly ``r``), and the Babai rounding constants
+  ``floor(2^384 * X^2 / r)`` / ``floor(2^384 / r)`` used to split a
+  scalar into two sub-scalars of at most 129 bits.
 * ``ATE_TATE_EXP`` — the fixed exponent ``3d mod r`` with
   ``d = L * c^-1 mod r`` the Hess–Smart–Vercauteren constant relating the
   canonical reduced optimal-ate pairing to the swapped-argument reduced
@@ -73,6 +81,38 @@ def main():
         print("    ],")
     print("];")
     print()
+
+    # --- GLV lattice for the G1 scalar decomposition (glv.rs) ---
+    X2 = X * X
+    assert r == X2 * X2 - X2 + 1, "r(X) = X^4 - X^2 + 1 on BLS curves"
+    lam1 = (X2 - 1) % r
+    lam2 = (-X2) % r
+    for lam in (lam1, lam2):
+        assert (lam * lam + lam + 1) % r == 0, "lambda is a cube root of 1"
+    # Basis of the kernel lattice for lambda = X^2 - 1; determinant is
+    # exactly r, so Babai rounding against it splits any k < r into
+    # sub-scalars k1 in [0, 2X^2), k2 in (-2, 2X^2) — at most 129 bits.
+    assert ((X2 - 1) - lam1) % r == 0, "v1 = (X^2-1, -1) is in the lattice"
+    assert (1 + X2 * lam1) % r == 0, "v2 = (1, X^2) is in the lattice"
+    assert (X2 - 1) * X2 + 1 == r, "basis determinant is r"
+    n384 = 1 << 384
+    g1_floor = n384 * X2 // r
+    g2_floor = n384 // r
+    print(fmt("pub const GLV_X2: [u64; 2]", X2, 2))
+    print(fmt("pub const GLV_G1_FLOOR: [u64; 5]", g1_floor, 5))
+    print(fmt("pub const GLV_G2_FLOOR: [u64; 3]", g2_floor, 3))
+    print(fmt("pub const GLV_LAMBDA_1: [u64; 4]", lam1, 4))
+    print(fmt("pub const GLV_LAMBDA_2: [u64; 4]", lam2, 4))
+    print()
+    # Spot-check the rounding error bound of the floor approximation:
+    # k1 = d1*(X^2-1) + d2 and k2 = d2*X^2 - d1 with d1, d2 in [0, 2).
+    for k in (1, 2, r // 2, r - 1, lam1, lam2, X2, 0x1234567890ABCDEF):
+        c1 = (k * g1_floor) >> 384
+        c2 = (k * g2_floor) >> 384
+        k1 = k - c1 * (X2 - 1) - c2
+        k2 = c1 - c2 * X2
+        assert (k1 + k2 * lam1) % r == k % r, "decomposition is congruent"
+        assert 0 <= k1 < 2 * X2 and -2 < k2 < 2 * X2, "sub-scalar bounds"
 
     L = (X**12 - 1) // r
     c = 12 * pow(p, 11, r) % r
