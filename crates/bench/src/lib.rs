@@ -9,6 +9,8 @@ use borndist_shamir::ThresholdParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod load;
+
 /// Deterministic RNG for reproducible benchmark inputs.
 pub fn bench_rng() -> StdRng {
     StdRng::seed_from_u64(0xBE7C)

@@ -1,0 +1,217 @@
+//! Load-generation scaffolding for the sustained-throughput harness
+//! (`examples/service_load.rs`, experiment E11 in DESIGN.md §3): a
+//! deterministic open-loop arrival schedule over a mixed operation
+//! class, plus per-class latency recording that summarizes into
+//! [`LatencySummary`] percentiles and an ops/sec figure.
+//!
+//! Open-loop means the schedule fixes *when* each operation is offered,
+//! independent of how fast the system answers — the honest way to
+//! measure a service under a target arrival rate (a closed loop would
+//! let a slow server throttle its own load and flatter the numbers).
+
+use borndist_net::LatencySummary;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Duration;
+
+/// The operation classes of the mixed workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// One signature through the verification gateway.
+    Verify,
+    /// A small randomized batch through `batch_verify`.
+    BatchVerify,
+    /// One partial signature (`share_sign`).
+    PartialSign,
+    /// Combine a threshold of partial signatures.
+    Combine,
+}
+
+impl OpClass {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Verify => "verify",
+            OpClass::BatchVerify => "batch_verify",
+            OpClass::PartialSign => "partial_sign",
+            OpClass::Combine => "combine",
+        }
+    }
+}
+
+/// A workload mix: relative weights per class (need not sum to
+/// anything in particular).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMix {
+    /// Weight of [`OpClass::Verify`].
+    pub verify: u32,
+    /// Weight of [`OpClass::BatchVerify`].
+    pub batch_verify: u32,
+    /// Weight of [`OpClass::PartialSign`].
+    pub partial_sign: u32,
+    /// Weight of [`OpClass::Combine`].
+    pub combine: u32,
+}
+
+impl WorkloadMix {
+    /// The E11 default: verification-dominated gateway traffic with a
+    /// signing side-channel.
+    pub fn standard() -> Self {
+        WorkloadMix {
+            verify: 12,
+            batch_verify: 2,
+            partial_sign: 4,
+            combine: 2,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.verify + self.batch_verify + self.partial_sign + self.combine
+    }
+}
+
+/// One scheduled operation: what to run and when to offer it, as an
+/// offset from the run's start.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledOp {
+    /// The operation class.
+    pub class: OpClass,
+    /// Offset from the run start at which the operation is offered.
+    pub at: Duration,
+}
+
+/// Builds a deterministic open-loop schedule: `count` operations drawn
+/// from `mix` by a seeded RNG, offered at a constant `rate_per_sec`
+/// with ±50% per-gap jitter (same seed → same schedule, so runs are
+/// comparable across hosts and thread counts).
+pub fn arrival_schedule(
+    count: usize,
+    rate_per_sec: f64,
+    mix: WorkloadMix,
+    seed: u64,
+) -> Vec<ScheduledOp> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    assert!(mix.total() > 0, "workload mix must have positive weight");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap_ns = 1e9 / rate_per_sec;
+    let mut clock_ns = 0.0f64;
+    (0..count)
+        .map(|_| {
+            // Uniform jitter in [0.5, 1.5) of the mean gap keeps the
+            // long-run rate exact while avoiding lockstep arrivals.
+            let jitter = 0.5 + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            clock_ns += mean_gap_ns * jitter;
+            let pick = rng.next_u32() % mix.total();
+            let class = if pick < mix.verify {
+                OpClass::Verify
+            } else if pick < mix.verify + mix.batch_verify {
+                OpClass::BatchVerify
+            } else if pick < mix.verify + mix.batch_verify + mix.partial_sign {
+                OpClass::PartialSign
+            } else {
+                OpClass::Combine
+            };
+            ScheduledOp {
+                class,
+                at: Duration::from_nanos(clock_ns as u64),
+            }
+        })
+        .collect()
+}
+
+/// Accumulates per-operation latencies for one class and summarizes
+/// them with an ops/sec figure over the measured span.
+#[derive(Clone, Debug, Default)]
+pub struct ClassRecorder {
+    samples: Vec<Duration>,
+}
+
+impl ClassRecorder {
+    /// Records one completed operation.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+    }
+
+    /// Number of operations recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Latency percentiles of everything recorded.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.samples)
+    }
+
+    /// Completed operations per second over `elapsed` wall-clock.
+    pub fn ops_per_sec(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.samples.len() as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// Formats one JSON row of the BENCH_service.json report.
+pub fn json_row(name: &str, ops: usize, elapsed: Duration, summary: &LatencySummary) -> String {
+    let ops_per_sec = if elapsed.is_zero() {
+        0.0
+    } else {
+        ops as f64 / elapsed.as_secs_f64()
+    };
+    format!(
+        "{{\"name\": \"{}\", \"ops\": {}, \"elapsed_ms\": {:.1}, \"ops_per_sec\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        name,
+        ops,
+        elapsed.as_secs_f64() * 1e3,
+        ops_per_sec,
+        summary.p50.as_secs_f64() * 1e3,
+        summary.p95.as_secs_f64() * 1e3,
+        summary.p99.as_secs_f64() * 1e3,
+        summary.max.as_secs_f64() * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_rate_accurate() {
+        let a = arrival_schedule(1000, 200.0, WorkloadMix::standard(), 7);
+        let b = arrival_schedule(1000, 200.0, WorkloadMix::standard(), 7);
+        assert_eq!(a.len(), 1000);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.class == y.class));
+        // 1000 ops at 200/s should span ~5s; jitter is zero-mean.
+        let span = a.last().unwrap().at.as_secs_f64();
+        assert!((4.0..6.0).contains(&span), "span {} off target", span);
+        // Monotone offer times.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every class shows up under the standard mix.
+        for class in [
+            OpClass::Verify,
+            OpClass::BatchVerify,
+            OpClass::PartialSign,
+            OpClass::Combine,
+        ] {
+            assert!(a.iter().any(|op| op.class == class), "{:?} absent", class);
+        }
+    }
+
+    #[test]
+    fn recorder_summarizes() {
+        let mut rec = ClassRecorder::default();
+        for ms in [1u64, 2, 3, 4, 100] {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50, Duration::from_millis(3));
+        assert_eq!(s.max, Duration::from_millis(100));
+        let rate = rec.ops_per_sec(Duration::from_secs(5));
+        assert!((rate - 1.0).abs() < 1e-9);
+    }
+}

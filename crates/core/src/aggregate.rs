@@ -16,10 +16,10 @@
 use crate::ro::{CombineError, KeyMaterial, PartialSignature, Signature};
 use borndist_dkg::{dkg_session, AggregateBases, Behavior, DkgConfig, SharingMode};
 use borndist_lhsps::{sign_derive, DpParams, OneTimeSecretKey, OneTimeSignature, PreparedDpParams};
-use borndist_net::Metrics;
+use borndist_net::{CodecError, Metrics, Wire};
 use borndist_pairing::{
     hash_to_g1, hash_to_g1_vector, hash_to_g2, msm, multi_pairing_mixed, Fr, G1Affine,
-    G1Projective, G2Affine,
+    G1Projective, G1Table, G2Affine,
 };
 use borndist_shamir::{lagrange_coefficients_at_zero, PedersenBases, ThresholdParams};
 use rand::RngCore;
@@ -35,6 +35,37 @@ pub struct AggPublicKey {
     pub z: G1Affine,
     /// Witness `R = Π R_{i0}`.
     pub r: G1Affine,
+}
+
+impl AggPublicKey {
+    /// Canonical byte fingerprint (compressed coordinates plus witness):
+    /// the equality/grouping key used by the batched verifiers to
+    /// collapse repeated keys and by the gateway's prepared-pairing
+    /// cache.
+    pub fn fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 * 96);
+        out.extend_from_slice(&self.coords[0].to_compressed());
+        out.extend_from_slice(&self.coords[1].to_compressed());
+        out.extend_from_slice(&self.z.to_compressed());
+        out.extend_from_slice(&self.r.to_compressed());
+        out
+    }
+}
+
+impl Wire for AggPublicKey {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.coords[0].encode_to(out);
+        self.coords[1].encode_to(out);
+        self.z.encode_to(out);
+        self.r.encode_to(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(AggPublicKey {
+            coords: [G2Affine::decode(input)?, G2Affine::decode(input)?],
+            z: G1Affine::decode(input)?,
+            r: G1Affine::decode(input)?,
+        })
+    }
 }
 
 /// An aggregate of `ℓ` signatures: still just `(z, r) ∈ G²`.
@@ -79,6 +110,12 @@ pub struct AggregateScheme {
     prepared: PreparedDpParams,
     /// Extra generators `(g, h) ∈ G²` for the key-validity witness.
     pub bases: AggregateBases,
+    /// Fixed-base window tables for `(g, h)`: every batched key check
+    /// multiplies these two scheme constants by fresh random weights, so
+    /// the table build (once per scheme) converts those to ~64 mixed
+    /// additions each.
+    g_table: G1Table,
+    h_table: G1Table,
     hash_dst: Vec<u8>,
 }
 
@@ -91,13 +128,16 @@ impl AggregateScheme {
             g_z: hash_to_g2(b"borndist/agg/g_z", &t).to_affine(),
             g_r: hash_to_g2(b"borndist/agg/g_r", &t).to_affine(),
         };
+        let bases = AggregateBases {
+            g: hash_to_g1(b"borndist/agg/g", &t).to_affine(),
+            h: hash_to_g1(b"borndist/agg/h", &t).to_affine(),
+        };
         AggregateScheme {
             prepared: params.prepare(),
             params,
-            bases: AggregateBases {
-                g: hash_to_g1(b"borndist/agg/g", &t).to_affine(),
-                h: hash_to_g1(b"borndist/agg/h", &t).to_affine(),
-            },
+            g_table: G1Table::new(&bases.g.to_projective()),
+            h_table: G1Table::new(&bases.h.to_projective()),
+            bases,
             hash_dst: t,
         }
     }
@@ -105,6 +145,11 @@ impl AggregateScheme {
     /// The prepared generator pair (cached Miller line coefficients).
     pub(crate) fn prepared_dp(&self) -> &PreparedDpParams {
         &self.prepared
+    }
+
+    /// The fixed-base tables for `(g, h)` (batched key checks).
+    pub(crate) fn base_tables(&self) -> (&G1Table, &G1Table) {
+        (&self.g_table, &self.h_table)
     }
 
     /// The generator pair `(ĝ_z, ĝ_r)`.

@@ -33,8 +33,11 @@
 //!   exponentiation instead of `2k` five-pairing products;
 //! * [`AggregateScheme::batch_key_valid`] /
 //!   [`AggregateScheme::aggregate_verify_batched`] — Appendix G key
-//!   sanity checks folded into the aggregate equation: `2ℓ + 2` pairings
-//!   and one final exponentiation for the whole statement list.
+//!   sanity checks folded into the aggregate equation: `2d + 2` pairings
+//!   (`d` = distinct keys — same-key pairing slots collapse) and one
+//!   final exponentiation for the whole statement list, with the
+//!   signature equation normalized to weight 1 so the message hashes
+//!   enter the Miller loop without any generic scalar multiplication.
 //!
 //! Every batched equation here is also **multi-core**: per-item hashing
 //! and weighting fan out over [`borndist_parallel::par_map`], the MSMs
@@ -66,6 +69,11 @@ use std::collections::BTreeMap;
 /// equation ignore an item entirely).
 fn random_weights<R: RngCore + ?Sized>(k: usize, rng: &mut R) -> Vec<Fr> {
     (0..k).map(|_| Fr::random_nonzero(rng)).collect()
+}
+
+/// Grouping key for collapsing repeated aggregate public keys.
+fn agg_key_bytes(pk: &AggPublicKey) -> Vec<u8> {
+    pk.fingerprint()
 }
 
 /// The LHSPS slow path ([`borndist_lhsps::OneTimePublicKey::verify`])
@@ -482,10 +490,14 @@ impl StandardScheme {
 
 impl AggregateScheme {
     /// Batch-checks the Appendix G key-validity witnesses of `ℓ` public
-    /// keys with one four-pairing product (`e(ΣρᵢZᵢ, ĝ_z)·e(ΣρᵢRᵢ, ĝ_r)·
-    /// Π e(ρᵢg, ĝ₁ᵢ)·e(ρᵢh, ĝ₂ᵢ)` collapses the `g`/`h` columns into
-    /// `2ℓ` cheap scalar multiplications) instead of `ℓ` separate
-    /// four-pairing checks with `ℓ` final exponentiations.
+    /// keys with one `(2d+2)`-pairing product over the `d ≤ ℓ` *distinct*
+    /// keys (`e(ΣρᵢZᵢ, ĝ_z)·e(ΣρᵢRᵢ, ĝ_r)·Π e(ρᵢg, ĝ₁ᵢ)·e(ρᵢh, ĝ₂ᵢ)`)
+    /// instead of `ℓ` separate four-pairing checks with `ℓ` final
+    /// exponentiations. Duplicate keys are deduplicated before weighting
+    /// (one valid witness is valid however often the key recurs), and the
+    /// `2d` weighted bases `ρᵢg`, `ρᵢh` come from the scheme's fixed-base
+    /// window tables (the bases are scheme constants), not generic scalar
+    /// multiplications.
     pub fn batch_key_valid<R: RngCore + ?Sized>(
         &self,
         keys: &[&AggPublicKey],
@@ -494,18 +506,25 @@ impl AggregateScheme {
         if keys.is_empty() {
             return true;
         }
-        let rho = random_weights(keys.len(), rng);
-        let zs: Vec<G1Affine> = keys.iter().map(|k| k.z).collect();
-        let rs: Vec<G1Affine> = keys.iter().map(|k| k.r).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        let distinct: Vec<&AggPublicKey> = keys
+            .iter()
+            .filter(|k| seen.insert(agg_key_bytes(k)))
+            .copied()
+            .collect();
+        let rho = random_weights(distinct.len(), rng);
+        let zs: Vec<G1Affine> = distinct.iter().map(|k| k.z).collect();
+        let rs: Vec<G1Affine> = distinct.iter().map(|k| k.r).collect();
         let mut points = vec![msm(&zs, &rho), msm(&rs, &rho)];
         // Per-key weighted bases, fanned out across threads.
-        for pair in par_map(&rho, |w| [self.bases.g.mul(w), self.bases.h.mul(w)]) {
+        let (g_table, h_table) = self.base_tables();
+        for pair in par_map(&rho, |w| [g_table.mul(w), h_table.mul(w)]) {
             points.extend(pair);
         }
         let points = G1Projective::batch_to_affine(&points);
         let prep = self.prepared_dp();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * keys.len());
-        for (key, gh) in keys.iter().zip(points[2..].chunks(2)) {
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * distinct.len());
+        for (key, gh) in distinct.iter().zip(points[2..].chunks(2)) {
             pairs.push((&gh[0], &key.coords[0]));
             pairs.push((&gh[1], &key.coords[1]));
         }
@@ -514,19 +533,37 @@ impl AggregateScheme {
     }
 
     /// `Aggregate-Verify` with the per-key sanity checks *folded into*
-    /// the product equation: random weights `ρ₀` (signature equation) and
-    /// `ρᵢ` (key equations) reduce the whole statement list to one
-    /// `(2ℓ+2)`-pairing product —
+    /// the product equation, sharing one multi-pairing pass. Two
+    /// structural reductions make it cheap:
+    ///
+    /// * **weight-1 normalization** — the single aggregate-signature
+    ///   equation carries weight 1 (divide the classically-weighted
+    ///   product by its unit weight `ρ₀`), so the message hashes enter
+    ///   the Miller loop without any generic scalar multiplication; only
+    ///   the `d ≤ ℓ` *distinct-key* validity equations draw fresh random
+    ///   weights `ρ_d`;
+    /// * **same-key slot collapse** — pairs sharing their `Ĝ`-side key
+    ///   merge (`e(A, Q̂)·e(B, Q̂) = e(A+B, Q̂)`), so the whole statement
+    ///   list costs `2d + 2` pairings:
     ///
     /// ```text
-    /// e(ρ₀z + ΣρᵢZᵢ, ĝ_z)·e(ρ₀r + ΣρᵢRᵢ, ĝ_r)
-    ///   ·Π e(ρ₀H₁ᵢ + ρᵢg, ĝ₁ᵢ)·e(ρ₀H₂ᵢ + ρᵢh, ĝ₂ᵢ) = 1
+    /// e(z + Σ_d ρ_d Z_d, ĝ_z)·e(r + Σ_d ρ_d R_d, ĝ_r)
+    ///   ·Π_d e(Σ_{i∈d} H₁ᵢ + ρ_d g, ĝ₁_d)·e(Σ_{i∈d} H₂ᵢ + ρ_d h, ĝ₂_d) = 1
     /// ```
     ///
     /// — versus `ℓ` four-pairing key checks plus the `(2ℓ+2)`-pairing
     /// aggregate equation for [`Self::aggregate_verify`], each with its
-    /// own final exponentiation. Agreement between the two paths is
-    /// property-tested in `tests/adversarial.rs`.
+    /// own final exponentiation. In the paper's compressed
+    /// certification-chain deployment `d` (the number of certifying
+    /// authorities) is far smaller than `ℓ` (the chain length), so the
+    /// pairing count collapses with it. The normalization keeps the
+    /// classical soundness bound: if any *key* equation fails, the fresh
+    /// `ρ_d` weights make the product non-identity except with
+    /// probability `1/(r-1)`; if only the *signature* equation fails, the
+    /// product equals its non-identity value deterministically. The
+    /// `ρ_d·g`, `ρ_d·h` terms use the scheme's fixed-base tables.
+    /// Agreement between the two paths is property-tested in
+    /// `tests/adversarial.rs`.
     pub fn aggregate_verify_batched<R: RngCore + ?Sized>(
         &self,
         statements: &[(AggPublicKey, Vec<u8>)],
@@ -536,30 +573,46 @@ impl AggregateScheme {
         if statements.is_empty() {
             return false;
         }
-        let rho0 = Fr::random_nonzero(rng);
-        let rho = random_weights(statements.len(), rng);
-        let zs: Vec<G1Affine> = statements.iter().map(|(pk, _)| pk.z).collect();
-        let rs: Vec<G1Affine> = statements.iter().map(|(pk, _)| pk.r).collect();
+        // Dense-index the distinct keys in first-appearance order (the
+        // order fixes which ρ_d each key draws — deterministic for a
+        // deterministic RNG, whatever the thread count).
+        let mut group_of: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+        let mut distinct: Vec<&AggPublicKey> = Vec::new();
+        let mut stmt_group: Vec<usize> = Vec::with_capacity(statements.len());
+        for (pk, _) in statements {
+            let next = distinct.len();
+            let d = *group_of.entry(agg_key_bytes(pk)).or_insert_with(|| {
+                distinct.push(pk);
+                next
+            });
+            stmt_group.push(d);
+        }
+        let rho = random_weights(distinct.len(), rng);
+        let zs: Vec<G1Affine> = distinct.iter().map(|pk| pk.z).collect();
+        let rs: Vec<G1Affine> = distinct.iter().map(|pk| pk.r).collect();
         let mut points = vec![
-            msm(&zs, &rho) + agg.z.mul(&rho0),
-            msm(&rs, &rho) + agg.r.mul(&rho0),
+            msm(&zs, &rho) + agg.z.to_projective(),
+            msm(&rs, &rho) + agg.r.to_projective(),
         ];
-        // Per-statement hash + weighted-base work, fanned out across
-        // threads (hash-to-curve dominates).
-        let per_stmt = par_map_indexed(statements, |i, (pk, msg)| {
-            let h = self.hash_message(pk, msg);
-            [
-                h[0].mul(&rho0) + self.bases.g.mul(&rho[i]),
-                h[1].mul(&rho0) + self.bases.h.mul(&rho[i]),
-            ]
-        });
-        for pair in per_stmt {
+        // Per-statement hashing fans out across threads (hash-to-curve
+        // dominates); the per-key slot sums are cheap mixed additions.
+        let hashes = par_map(statements, |(pk, msg)| self.hash_message(pk, msg));
+        let (g_table, h_table) = self.base_tables();
+        let mut slots: Vec<[G1Projective; 2]> = rho
+            .iter()
+            .map(|w| [g_table.mul(w), h_table.mul(w)])
+            .collect();
+        for (d, h) in stmt_group.iter().zip(hashes) {
+            slots[*d][0] += h[0];
+            slots[*d][1] += h[1];
+        }
+        for pair in slots {
             points.extend(pair);
         }
         let points = G1Projective::batch_to_affine(&points);
         let prep = self.prepared_dp();
-        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * statements.len());
-        for ((pk, _), h) in statements.iter().zip(points[2..].chunks(2)) {
+        let mut pairs: Vec<(&G1Affine, &G2Affine)> = Vec::with_capacity(2 * distinct.len());
+        for (pk, h) in distinct.iter().zip(points[2..].chunks(2)) {
             pairs.push((&h[0], &pk.coords[0]));
             pairs.push((&h[1], &pk.coords[1]));
         }

@@ -19,7 +19,11 @@
 //! * [`netsign`] — threshold signing as a network protocol: partial
 //!   signatures crossing a real transport as encoded frames, with
 //!   retransmission under lossy delivery policies (DESIGN.md §2 "Wire
-//!   format & transports").
+//!   format & transports");
+//! * [`gateway`] — the amortized verification front door: independent
+//!   verify requests buffered per epoch and answered with one randomized
+//!   multi-pairing, with bisection on poisoned buffers (DESIGN.md §2
+//!   "Aggregation gateway & load harness").
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 pub mod aggregate;
 pub mod batch;
 pub mod dlin;
+pub mod gateway;
 pub mod netsign;
 pub mod proactive;
 pub mod ro;
@@ -60,6 +65,7 @@ pub use dlin::{
     DlinKeyMaterial, DlinKeyShare, DlinPartialSignature, DlinPublicKey, DlinScheme, DlinSignature,
     DlinVerificationKey,
 };
+pub use gateway::{AggregationGateway, GatewayConfig, GatewayStats, Verdict, VerifyRequest};
 pub use netsign::{
     run_mux_sign, run_threshold_sign, MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPlayer,
     SignMessage, SigningPlayer,

@@ -34,6 +34,7 @@ use borndist_pairing::codec::{CodecError, Wire};
 use borndist_shamir::ThresholdParams;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// A wire message of the signing protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -325,7 +326,7 @@ impl Wire for MuxMessage {
 /// What a multiplexed run returns per player: every combined signature
 /// the player observed, keyed by session id, plus (coordinator only)
 /// the in-flight high-water mark the backpressure bound was measured
-/// at.
+/// at and the per-request service latencies.
 #[derive(Clone, Debug, Default)]
 pub struct MuxOutcome {
     /// Verified combined signatures by session id.
@@ -333,6 +334,15 @@ pub struct MuxOutcome {
     /// Maximum number of sessions that were simultaneously in flight
     /// (0 for signer players — only the coordinator opens sessions).
     pub high_water: usize,
+    /// Enqueue→verified-response wall-clock per session (coordinator
+    /// only): stamped when the request entered the coordinator's queue —
+    /// construction for [`MuxCoordinator::with_requests`], channel
+    /// arrival for [`MuxCoordinator::with_intake`] — and closed when the
+    /// verified `Done` signature retires the session. Queueing delay
+    /// under the backpressure bound is therefore *included*: this is the
+    /// client-observed service time, the histogram the load harness and
+    /// the daemon front-end both summarize.
+    pub latencies: BTreeMap<u64, Duration>,
 }
 
 /// Per-session signer state.
@@ -475,6 +485,7 @@ impl Protocol for MuxSignerPlayer {
             return RoundAction::Finish(MuxOutcome {
                 signatures,
                 high_water: 0,
+                latencies: BTreeMap::new(),
             });
         }
         let mut out = Vec::new();
@@ -543,6 +554,11 @@ pub struct MuxCoordinator {
     done: BTreeMap<u64, Signature>,
     /// Messages of sessions in flight, for Done verification.
     open_msgs: BTreeMap<u64, Vec<u8>>,
+    /// Enqueue stamps of requests not yet retired (queued or in
+    /// flight) — the start of the client-observed service time.
+    enqueued: BTreeMap<u64, Instant>,
+    /// Closed enqueue→verified-response samples.
+    latencies: BTreeMap<u64, Duration>,
     high_water: usize,
     closing: bool,
 }
@@ -567,12 +583,17 @@ impl MuxCoordinator {
             in_flight: BTreeSet::new(),
             done: BTreeMap::new(),
             open_msgs: BTreeMap::new(),
+            enqueued: BTreeMap::new(),
+            latencies: BTreeMap::new(),
             high_water: 0,
             closing: false,
         }
     }
 
     /// A coordinator with a fixed request queue (deterministic runs).
+    /// The whole queue counts as enqueued at construction, so reported
+    /// latencies include the time spent waiting behind the backpressure
+    /// bound — identical semantics to the live-intake path.
     pub fn with_requests(
         id: PlayerId,
         scheme: ThresholdScheme,
@@ -581,6 +602,10 @@ impl MuxCoordinator {
         requests: Vec<(u64, Vec<u8>)>,
     ) -> Self {
         let mut c = Self::base(id, scheme, public_key, max_in_flight);
+        let now = Instant::now();
+        for (session, _) in &requests {
+            c.enqueued.insert(*session, now);
+        }
         c.pending = requests.into();
         c
     }
@@ -618,6 +643,7 @@ impl Protocol for MuxCoordinator {
             return RoundAction::Finish(MuxOutcome {
                 signatures: std::mem::take(&mut self.done),
                 high_water: self.high_water,
+                latencies: std::mem::take(&mut self.latencies),
             });
         }
 
@@ -635,6 +661,9 @@ impl Protocol for MuxCoordinator {
                     self.in_flight.remove(session);
                     self.open_msgs.remove(session);
                     self.done.insert(*session, *sig);
+                    if let Some(start) = self.enqueued.remove(session) {
+                        self.latencies.insert(*session, start.elapsed());
+                    }
                     if let Some(tx) = &self.completed_tx {
                         let _ = tx.send((*session, *sig));
                     }
@@ -647,7 +676,10 @@ impl Protocol for MuxCoordinator {
             if let Some(rx) = &self.intake {
                 loop {
                     match rx.try_recv() {
-                        Ok(req) => self.pending.push_back(req),
+                        Ok(req) => {
+                            self.enqueued.insert(req.0, Instant::now());
+                            self.pending.push_back(req);
+                        }
                         Err(mpsc::TryRecvError::Empty) => break,
                         Err(mpsc::TryRecvError::Disconnected) => {
                             self.intake_open = false;

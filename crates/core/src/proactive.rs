@@ -164,28 +164,6 @@ impl ProactiveDeployment {
         Ok(metrics)
     }
 
-    /// Lockstep-only convenience, superseded by [`Self::refresh_epoch`].
-    #[deprecated(note = "use refresh_epoch(behaviors, seed, &TransportKind::Lockstep)")]
-    pub fn advance_epoch(
-        &mut self,
-        behaviors: &BTreeMap<u32, Behavior>,
-        seed: u64,
-    ) -> Result<Metrics, ProactiveError> {
-        self.refresh_epoch(behaviors, seed, &borndist_net::TransportKind::Lockstep)
-    }
-
-    /// Renamed to [`Self::refresh_epoch`] — same signature, same
-    /// semantics.
-    #[deprecated(note = "use refresh_epoch — same signature")]
-    pub fn advance_epoch_over(
-        &mut self,
-        behaviors: &BTreeMap<u32, Behavior>,
-        seed: u64,
-        transport: &borndist_net::TransportKind,
-    ) -> Result<Metrics, ProactiveError> {
-        self.refresh_epoch(behaviors, seed, transport)
-    }
-
     /// Restores player `target`'s share from `t+1` helpers (Herzberg
     /// recovery per sharing coordinate), e.g. after a crash or detected
     /// corruption.

@@ -365,30 +365,6 @@ impl ThresholdScheme {
             .expect("a concrete DKG output always assembles")
     }
 
-    /// Lockstep-only convenience, superseded by [`Self::keygen_session`].
-    #[deprecated(note = "use keygen_session(params, behaviors, seed, &TransportKind::Lockstep)")]
-    pub fn dist_keygen(
-        &self,
-        params: ThresholdParams,
-        behaviors: &BTreeMap<u32, Behavior>,
-        seed: u64,
-    ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
-        self.keygen_session(params, behaviors, seed, &TransportKind::Lockstep)
-    }
-
-    /// Renamed to [`Self::keygen_session`] — same signature, same
-    /// semantics.
-    #[deprecated(note = "use keygen_session — same signature")]
-    pub fn dist_keygen_over(
-        &self,
-        params: ThresholdParams,
-        behaviors: &BTreeMap<u32, Behavior>,
-        seed: u64,
-        transport: &TransportKind,
-    ) -> Result<(KeyMaterial, Metrics), DistKeygenError> {
-        self.keygen_session(params, behaviors, seed, transport)
-    }
-
     /// Maps DKG outputs into scheme key material.
     pub(crate) fn assemble(
         &self,

@@ -43,12 +43,6 @@ pub mod recovery;
 pub mod refresh;
 
 pub use messages::{AggregateWitness, DkgMessage};
-// The deprecated pre-session wrappers (`run_dkg`, `run_dkg_over`,
-// `run_refresh`, `run_refresh_over`) are deliberately NOT re-exported:
-// a facade re-export under `#[allow(deprecated)]` swallowed the
-// deprecation warning for every downstream caller. They stay reachable
-// only through their defining modules ([`player`], [`refresh`]), where
-// the attribute fires as intended.
 pub use player::{
     dkg_players, dkg_session, standard_config, AggregateBases, Behavior, DkgAbort, DkgConfig,
     DkgOutput, DkgPlayer, SharingMode, SimulatedRunResult,

@@ -790,27 +790,6 @@ pub fn dkg_session(
     Ok((outputs, metrics))
 }
 
-/// Lockstep-only convenience, superseded by [`dkg_session`].
-#[deprecated(note = "use dkg_session(cfg, behaviors, seed, &TransportKind::Lockstep)")]
-pub fn run_dkg(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-) -> SimulatedRunResult {
-    dkg_session(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
-}
-
-/// Renamed to [`dkg_session`] — same signature, same semantics.
-#[deprecated(note = "use dkg_session — same signature")]
-pub fn run_dkg_over(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-    transport: &borndist_net::TransportKind,
-) -> SimulatedRunResult {
-    dkg_session(cfg, behaviors, seed, transport)
-}
-
 /// Derives the standard DKG generators and aggregate bases from a
 /// protocol tag (random-oracle parameters, no trusted setup).
 pub fn standard_config(

@@ -68,24 +68,3 @@ pub fn refresh_session(
     refresh_cfg.aggregate = None;
     crate::player::dkg_session(&refresh_cfg, behaviors, seed, transport)
 }
-
-/// Lockstep-only convenience, superseded by [`refresh_session`].
-#[deprecated(note = "use refresh_session(cfg, behaviors, seed, &TransportKind::Lockstep)")]
-pub fn run_refresh(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-) -> SimulatedRunResult {
-    refresh_session(cfg, behaviors, seed, &borndist_net::TransportKind::Lockstep)
-}
-
-/// Renamed to [`refresh_session`] — same signature, same semantics.
-#[deprecated(note = "use refresh_session — same signature")]
-pub fn run_refresh_over(
-    cfg: &DkgConfig,
-    behaviors: &BTreeMap<PlayerId, Behavior>,
-    seed: u64,
-    transport: &borndist_net::TransportKind,
-) -> SimulatedRunResult {
-    refresh_session(cfg, behaviors, seed, transport)
-}

@@ -296,6 +296,81 @@ impl Wire for Metrics {
     }
 }
 
+/// A per-request latency distribution: count, mean, nearest-rank
+/// percentiles, and the worst sample.
+///
+/// Built once from raw `Duration` samples by [`Self::from_samples`];
+/// every layer that reports request latency (the mux coordinator's
+/// enqueue→response stamps, the service front-end, the load harness)
+/// summarizes through this one type so daemon-mode and in-process
+/// histograms come from the same code path. It crosses the service's
+/// client framing, so it carries a canonical encoding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (nearest-rank).
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+    /// Worst observed sample.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes raw samples (order-insensitive). The empty sample set
+    /// yields the all-zero summary.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        // Nearest-rank: the q-th percentile is the ⌈q·n⌉-th smallest
+        // sample, so small sample sets report real observations rather
+        // than interpolated values.
+        let pct = |q: f64| -> Duration {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean: total / sorted.len() as u32,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl Wire for LatencySummary {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.count.encode_to(out);
+        (self.mean.as_nanos() as u64).encode_to(out);
+        (self.p50.as_nanos() as u64).encode_to(out);
+        (self.p95.as_nanos() as u64).encode_to(out);
+        (self.p99.as_nanos() as u64).encode_to(out);
+        (self.max.as_nanos() as u64).encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(LatencySummary {
+            count: u64::decode(input)?,
+            mean: Duration::from_nanos(u64::decode(input)?),
+            p50: Duration::from_nanos(u64::decode(input)?),
+            p95: Duration::from_nanos(u64::decode(input)?),
+            p99: Duration::from_nanos(u64::decode(input)?),
+            max: Duration::from_nanos(u64::decode(input)?),
+        })
+    }
+}
+
 /// Errors from a transport run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {

@@ -11,14 +11,18 @@
 //!   protocol.
 
 use crate::{
-    read_frame, write_frame, ClientRequest, ClientResponse, ServiceCoordinator, ServiceOutcome,
-    ServicePlayer, Topology, DKG_ROUND_BUDGET, SIGN_ROUND_BUDGET,
+    read_frame, run_gateway_worker, write_frame, ClientRequest, ClientResponse, ServiceCoordinator,
+    ServiceOutcome, ServicePlayer, Topology, DKG_ROUND_BUDGET, SIGN_ROUND_BUDGET,
 };
+use borndist_core::aggregate::AggregateScheme;
+use borndist_core::gateway::{AggregationGateway, GatewayConfig, VerifyRequest};
 use borndist_core::ro::ThresholdScheme;
 use borndist_dkg::dkg_players;
 use borndist_net::{
-    BoxedPlayer, DeliveryPolicy, PlayerId, TcpOptions, TcpTransport, TransportKind,
+    BoxedPlayer, DeliveryPolicy, LatencySummary, PlayerId, TcpOptions, TcpTransport, TransportKind,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -110,8 +114,15 @@ pub fn run_player(top: &Topology, id: PlayerId) -> Result<usize, ServiceError> {
 
 /// The front-end: joins the signing mesh as node `n+1`, accepts one
 /// framed client connection on `client_listener`, streams back
-/// [`ClientResponse::Signed`] frames, and answers the client's
-/// [`ClientRequest::Shutdown`] with a final [`ClientResponse::Summary`].
+/// [`ClientResponse::Signed`] and [`ClientResponse::Verified`] frames,
+/// and answers the client's [`ClientRequest::Shutdown`] with a final
+/// [`ClientResponse::Summary`].
+///
+/// Signing requests feed the mux coordinator on the mesh; verification
+/// requests feed an [`AggregationGateway`] worker thread
+/// ([`run_gateway_worker`]) that amortizes whole buffers into single
+/// multi-pairings. Both response streams merge into one writer, so
+/// frames never interleave mid-write.
 ///
 /// The listener's bound port is announced on stdout as
 /// `CLIENT_PORT <port>` so a parent process can connect.
@@ -145,28 +156,93 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
         std::thread::spawn(move || transport.run(SIGN_ROUND_BUDGET))
     };
 
+    // The verification gateway on its own worker thread. Weights are
+    // batching randomness, not key material, but still should not be
+    // replayable across daemon restarts — fold wall-clock and pid into
+    // the seed.
+    let (responses_tx, responses_rx) = mpsc::channel::<ClientResponse>();
+    let (gw_tx, gw_rx) = mpsc::channel::<VerifyRequest>();
+    let gateway_worker = {
+        let gateway = AggregationGateway::new(
+            AggregateScheme::new(&top.domain),
+            GatewayConfig::default(),
+            StdRng::seed_from_u64(
+                std::time::UNIX_EPOCH
+                    .elapsed()
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(top.seed)
+                    ^ u64::from(std::process::id()),
+            ),
+        );
+        let responses = responses_tx.clone();
+        std::thread::spawn(move || run_gateway_worker(gateway, gw_rx, responses))
+    };
+
+    // Forward combined signatures into the shared response stream.
+    let signed_forwarder = {
+        let responses = responses_tx.clone();
+        std::thread::spawn(move || {
+            for (id, sig) in completed_rx {
+                if responses.send(ClientResponse::Signed { id, sig }).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+    drop(responses_tx);
+
     let (client, _) = client_listener.accept()?;
     let mut client_out = client.try_clone()?;
 
-    // Reader thread: client frames → intake. Dropping `intake_tx` when
-    // the client says Shutdown (or hangs up) is what lets the
-    // coordinator drain and close the whole mesh.
+    // Reader thread: client frames → the matching intake. Dropping both
+    // senders when the client says Shutdown (or hangs up) is what lets
+    // the coordinator drain the mesh and the gateway flush its buffers.
     let reader = std::thread::spawn(move || {
         let mut client = client;
         // Shutdown frames, decode errors and hangups all end the stream.
-        while let Ok(ClientRequest::Sign { id, msg }) = read_frame(&mut client) {
-            if intake_tx.send((id, msg)).is_err() {
-                break;
+        loop {
+            match read_frame(&mut client) {
+                Ok(ClientRequest::Sign { id, msg }) => {
+                    if intake_tx.send((id, msg)).is_err() {
+                        break;
+                    }
+                }
+                Ok(ClientRequest::Verify {
+                    id,
+                    epoch,
+                    pk,
+                    msg,
+                    sig,
+                }) => {
+                    if gw_tx
+                        .send(VerifyRequest {
+                            id,
+                            epoch,
+                            pk,
+                            msg,
+                            sig,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(ClientRequest::Shutdown) | Err(_) => break,
             }
         }
     });
 
-    // Stream completed signatures back until the coordinator finishes
-    // (which drops its `completed` sender).
+    // Single writer: stream merged responses until every producer
+    // (signed forwarder + gateway worker) has hung up.
     let mut served = 0u64;
-    for (id, sig) in completed_rx {
-        served += 1;
-        write_frame(&mut client_out, &ClientResponse::Signed { id, sig })?;
+    let mut verified = 0u64;
+    for resp in responses_rx {
+        match &resp {
+            ClientResponse::Signed { .. } => served += 1,
+            ClientResponse::Verified { .. } => verified += 1,
+            ClientResponse::Summary { .. } => {}
+        }
+        write_frame(&mut client_out, &resp)?;
     }
 
     let (outcome, _metrics) = mesh
@@ -175,10 +251,17 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
     reader
         .join()
         .map_err(|_| proto("client reader thread panicked"))?;
+    gateway_worker
+        .join()
+        .map_err(|_| proto("gateway worker thread panicked"))?;
+    signed_forwarder
+        .join()
+        .map_err(|_| proto("signed forwarder thread panicked"))?;
 
     let info = outcome
         .ready
         .ok_or_else(|| proto("front-end finished without Ready info"))?;
+    let latencies: Vec<std::time::Duration> = outcome.mux.latencies.values().copied().collect();
     write_frame(
         &mut client_out,
         &ClientResponse::Summary {
@@ -186,6 +269,8 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
             dkg_metrics: info.dkg_metrics,
             high_water: outcome.mux.high_water as u64,
             served,
+            verified,
+            sign_latency: LatencySummary::from_samples(&latencies),
         },
     )?;
     Ok(())
@@ -227,10 +312,13 @@ fn wait_ok(mut child: Child, what: &str) -> Result<(), ServiceError> {
 ///
 /// * pushes `requests` signing requests through the client socket and
 ///   verifies every signature against the *reference* public key;
+/// * pushes a mixed valid/forged batch of [`ClientRequest::Verify`]
+///   frames and asserts the gateway's verdicts match ground truth;
 /// * asserts the deployment's merged DKG metrics are byte-identical to
 ///   the in-process reference ([`borndist_net::Metrics::same_traffic`]);
 /// * asserts the backpressure high-water mark respected
-///   `max_in_flight`.
+///   `max_in_flight`, and that the summary's signing-latency
+///   percentiles cover every served request.
 pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     let n = top.params.n as PlayerId;
     let scheme = ThresholdScheme::new(&top.domain);
@@ -286,7 +374,27 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     let mut client = TcpStream::connect(("127.0.0.1", port))?;
     let mut client_in = client.try_clone()?;
 
-    // Pipeline all requests, then collect all signatures.
+    // Verification traffic for the gateway: `verify_count` signatures
+    // from two aggregate authorities, a few of them forged (signature
+    // over a different message than the one submitted).
+    let agg_scheme = AggregateScheme::new(&top.domain);
+    let mut agg_rng = StdRng::seed_from_u64(top.seed.wrapping_mul(0x9e37_79b9));
+    let agg_params = borndist_shamir::ThresholdParams::new(1, 4)
+        .map_err(|e| proto(format!("bad aggregate params: {}", e)))?;
+    let authorities: Vec<_> = (0..2)
+        .map(|_| agg_scheme.dealer_keygen(agg_params, &mut agg_rng))
+        .collect();
+    let verify_count = 24u64;
+    let forged: &[u64] = &[3, 17];
+    let agg_sign = |pk: &_, km: &borndist_core::ro::KeyMaterial, msg: &[u8]| {
+        let partials: Vec<_> = (1..=2u32)
+            .map(|j| agg_scheme.share_sign(pk, &km.shares[&j], msg))
+            .collect();
+        agg_scheme.combine(&agg_params, &partials).expect("combine")
+    };
+
+    // Pipeline all signing and verification requests, then collect both
+    // response streams (they interleave arbitrarily).
     for id in 0..requests {
         write_frame(
             &mut client,
@@ -296,11 +404,34 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
             },
         )?;
     }
+    for id in 0..verify_count {
+        let (pk, km) = &authorities[id as usize % authorities.len()];
+        let msg = format!("smoke verify {}", id).into_bytes();
+        let sig = if forged.contains(&id) {
+            agg_sign(pk, km, b"forged smoke payload")
+        } else {
+            agg_sign(pk, km, &msg)
+        };
+        write_frame(
+            &mut client,
+            &ClientRequest::Verify {
+                id,
+                epoch: 0,
+                pk: pk.clone(),
+                msg,
+                sig,
+            },
+        )?;
+    }
     let mut signatures = BTreeMap::new();
-    while signatures.len() < requests as usize {
+    let mut verdicts = BTreeMap::new();
+    while signatures.len() < requests as usize || verdicts.len() < verify_count as usize {
         match read_frame::<ClientResponse, _>(&mut client_in)? {
             ClientResponse::Signed { id, sig } => {
                 signatures.insert(id, sig);
+            }
+            ClientResponse::Verified { id, valid, .. } => {
+                verdicts.insert(id, valid);
             }
             ClientResponse::Summary { .. } => return Err(proto("Summary before Shutdown")),
         }
@@ -311,6 +442,14 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
             return Err(proto(format!("request {} signature invalid", id)));
         }
     }
+    for (id, valid) in &verdicts {
+        if *valid == forged.contains(id) {
+            return Err(proto(format!(
+                "gateway misjudged verify request {}: said {}",
+                id, valid
+            )));
+        }
+    }
 
     write_frame(&mut client, &ClientRequest::Shutdown)?;
     let summary = read_frame::<ClientResponse, _>(&mut client_in)?;
@@ -319,6 +458,8 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         dkg_metrics,
         high_water,
         served,
+        verified,
+        sign_latency,
     } = summary
     else {
         return Err(proto("expected Summary after Shutdown"));
@@ -342,6 +483,18 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     if served != requests {
         return Err(proto(format!("served {} of {} requests", served, requests)));
     }
+    if verified != verify_count {
+        return Err(proto(format!(
+            "gateway answered {} of {} verify requests",
+            verified, verify_count
+        )));
+    }
+    if sign_latency.count != served {
+        return Err(proto(format!(
+            "latency summary covers {} of {} served requests",
+            sign_latency.count, served
+        )));
+    }
 
     for (i, child) in players.into_iter().enumerate() {
         wait_ok(child, &format!("player {}", i + 1))?;
@@ -349,13 +502,16 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     wait_ok(frontend, "frontend")?;
 
     println!(
-        "SMOKE OK: {} requests signed by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}",
+        "SMOKE OK: {} requests signed, {} verified by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}; sign p50/p99 {:?}/{:?}",
         requests,
+        verified,
         n + 1,
         dkg_metrics.messages,
         dkg_metrics.bytes,
         high_water,
         top.max_in_flight,
+        sign_latency.p50,
+        sign_latency.p99,
     );
     Ok(())
 }

@@ -30,10 +30,13 @@
 //! ([`borndist_net::Metrics::same_traffic`]) — the CI gate that the TCP
 //! path is the same protocol, not a lookalike.
 
+use borndist_core::aggregate::AggPublicKey;
+use borndist_core::gateway::{AggregationGateway, GatewayStats, VerifyRequest};
 use borndist_core::netsign::{MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPlayer};
 use borndist_core::ro::{KeyMaterial, PublicKey, Signature, ThresholdScheme};
 use borndist_net::{
-    CodecError, Delivered, Metrics, Outgoing, PlayerId, Protocol, Recipient, RoundAction, Wire,
+    CodecError, Delivered, LatencySummary, Metrics, Outgoing, PlayerId, Protocol, Recipient,
+    RoundAction, Wire,
 };
 use borndist_shamir::ThresholdParams;
 use std::collections::BTreeMap;
@@ -389,10 +392,16 @@ impl Protocol for ServiceCoordinator {
 
 const TAG_SIGN: u8 = 0;
 const TAG_CLIENT_SHUTDOWN: u8 = 1;
+const TAG_VERIFY: u8 = 2;
 const TAG_SIGNED: u8 = 0;
 const TAG_SUMMARY: u8 = 1;
+const TAG_VERIFIED: u8 = 2;
 
 /// A client → front-end frame.
+// `Verify` dominates the enum size (an inline `AggPublicKey` is two G2
+// plus two G1 points); boxing it would cost an allocation per request on
+// the daemon's hot intake path just to shrink the transient decode value.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ClientRequest {
     /// Sign `msg`; the signature comes back tagged with `id`.
@@ -401,6 +410,25 @@ pub enum ClientRequest {
         id: u64,
         /// The message to threshold-sign.
         msg: Vec<u8>,
+    },
+    /// Verify `sig` over `msg` under the aggregate-capable key `pk`.
+    /// Routed through the front-end's [`AggregationGateway`]: answered
+    /// (as [`ClientResponse::Verified`]) when the gateway's buffer for
+    /// `epoch` flushes, not per request — one amortized multi-pairing
+    /// covers the whole buffer.
+    ///
+    /// [`AggregationGateway`]: borndist_core::gateway::AggregationGateway
+    Verify {
+        /// Client-chosen request id.
+        id: u64,
+        /// Proactive epoch; the gateway never folds across epochs.
+        epoch: u64,
+        /// The (self-certifying) public key.
+        pk: AggPublicKey,
+        /// The signed message.
+        msg: Vec<u8>,
+        /// The signature to verify.
+        sig: Signature,
     },
     /// Drain in-flight sessions, close the mesh, answer with a
     /// [`ClientResponse::Summary`], and exit.
@@ -415,6 +443,20 @@ impl Wire for ClientRequest {
                 id.encode_to(out);
                 msg.encode_to(out);
             }
+            ClientRequest::Verify {
+                id,
+                epoch,
+                pk,
+                msg,
+                sig,
+            } => {
+                out.push(TAG_VERIFY);
+                id.encode_to(out);
+                epoch.encode_to(out);
+                pk.encode_to(out);
+                msg.encode_to(out);
+                sig.encode_to(out);
+            }
             ClientRequest::Shutdown => out.push(TAG_CLIENT_SHUTDOWN),
         }
     }
@@ -423,6 +465,13 @@ impl Wire for ClientRequest {
             TAG_SIGN => Ok(ClientRequest::Sign {
                 id: u64::decode(input)?,
                 msg: Vec::<u8>::decode(input)?,
+            }),
+            TAG_VERIFY => Ok(ClientRequest::Verify {
+                id: u64::decode(input)?,
+                epoch: u64::decode(input)?,
+                pk: AggPublicKey::decode(input)?,
+                msg: Vec::<u8>::decode(input)?,
+                sig: Signature::decode(input)?,
             }),
             TAG_CLIENT_SHUTDOWN => Ok(ClientRequest::Shutdown),
             tag => Err(CodecError::InvalidTag(tag)),
@@ -445,6 +494,15 @@ pub enum ClientResponse {
         /// The unique combined signature.
         sig: Signature,
     },
+    /// Request `id` was judged by the verification gateway.
+    Verified {
+        /// The request this verdict answers.
+        id: u64,
+        /// The request's epoch.
+        epoch: u64,
+        /// `true` iff the signature verifies under its (valid) key.
+        valid: bool,
+    },
     /// Final frame after a shutdown: the audit summary.
     Summary {
         /// The deployment's public key.
@@ -456,6 +514,12 @@ pub enum ClientResponse {
         high_water: u64,
         /// Number of signing requests served.
         served: u64,
+        /// Number of verification requests answered by the gateway.
+        verified: u64,
+        /// Per-request enqueue → combined-signature wall-clock
+        /// percentiles for the signing path (includes backpressure
+        /// queueing).
+        sign_latency: LatencySummary,
     },
 }
 
@@ -467,17 +531,27 @@ impl Wire for ClientResponse {
                 id.encode_to(out);
                 sig.encode_to(out);
             }
+            ClientResponse::Verified { id, epoch, valid } => {
+                out.push(TAG_VERIFIED);
+                id.encode_to(out);
+                epoch.encode_to(out);
+                out.push(u8::from(*valid));
+            }
             ClientResponse::Summary {
                 public_key,
                 dkg_metrics,
                 high_water,
                 served,
+                verified,
+                sign_latency,
             } => {
                 out.push(TAG_SUMMARY);
                 public_key.encode_to(out);
                 dkg_metrics.encode_to(out);
                 high_water.encode_to(out);
                 served.encode_to(out);
+                verified.encode_to(out);
+                sign_latency.encode_to(out);
             }
         }
     }
@@ -487,11 +561,22 @@ impl Wire for ClientResponse {
                 id: u64::decode(input)?,
                 sig: Signature::decode(input)?,
             }),
+            TAG_VERIFIED => Ok(ClientResponse::Verified {
+                id: u64::decode(input)?,
+                epoch: u64::decode(input)?,
+                valid: match u8::decode(input)? {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(CodecError::InvalidTag(tag)),
+                },
+            }),
             TAG_SUMMARY => Ok(ClientResponse::Summary {
                 public_key: PublicKey::decode(input)?,
                 dkg_metrics: Metrics::decode(input)?,
                 high_water: u64::decode(input)?,
                 served: u64::decode(input)?,
+                verified: u64::decode(input)?,
+                sign_latency: LatencySummary::decode(input)?,
             }),
             tag => Err(CodecError::InvalidTag(tag)),
         }
@@ -528,6 +613,57 @@ pub fn read_frame<T: Wire, R: Read>(r: &mut R) -> std::io::Result<T> {
     T::decode_exact(&buf).map_err(|e| {
         std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad frame: {}", e))
     })
+}
+
+// ---------------------------------------------------------------------
+// Gateway worker: the verification front door's serving loop.
+// ---------------------------------------------------------------------
+
+/// How long an idle gateway worker sleeps when no buffer has a pending
+/// deadline.
+const GATEWAY_IDLE_TICK: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Serves an [`AggregationGateway`] from a request channel: submissions
+/// drive size/epoch flushes, the gap between arrivals drives deadline
+/// flushes, and channel close drains everything left. Each
+/// [`borndist_core::gateway::Verdict`] goes out as a
+/// [`ClientResponse::Verified`]. Returns the gateway's final stats.
+///
+/// This is the one serving loop — the daemon front-end runs it on a
+/// thread against the client socket's reader, and the in-process load
+/// harness runs it against its generator channel, so both measure the
+/// same code path.
+pub fn run_gateway_worker<R: rand::RngCore>(
+    mut gateway: AggregationGateway<R>,
+    intake: mpsc::Receiver<VerifyRequest>,
+    responses: mpsc::Sender<ClientResponse>,
+) -> GatewayStats {
+    let emit = |verdicts: Vec<borndist_core::gateway::Verdict>,
+                responses: &mpsc::Sender<ClientResponse>| {
+        for v in verdicts {
+            // A closed response channel means the client is gone; keep
+            // draining so the stats stay complete.
+            let _ = responses.send(ClientResponse::Verified {
+                id: v.id,
+                epoch: v.epoch,
+                valid: v.valid,
+            });
+        }
+    };
+    loop {
+        let timeout = gateway
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(std::time::Instant::now()))
+            .unwrap_or(GATEWAY_IDLE_TICK);
+        match intake.recv_timeout(timeout) {
+            Ok(req) => emit(gateway.submit(req), &responses),
+            Err(mpsc::RecvTimeoutError::Timeout) => emit(gateway.poll(), &responses),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                emit(gateway.flush_all(), &responses);
+                return *gateway.stats();
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
