@@ -21,7 +21,9 @@ use borndist_pairing::{
     hash_to_g1, hash_to_g1_vector, hash_to_g2, msm, multi_pairing_mixed, Fr, G1Affine,
     G1Projective, G1Table, G2Affine,
 };
-use borndist_shamir::{lagrange_coefficients_at_zero, PedersenBases, ThresholdParams};
+use borndist_shamir::{
+    lagrange_coefficients_at_zero, LagrangeCache, PedersenBases, ThresholdParams,
+};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -117,6 +119,9 @@ pub struct AggregateScheme {
     g_table: G1Table,
     h_table: G1Table,
     hash_dst: Vec<u8>,
+    /// Memoized `Combine` coefficients per signer set (always compares
+    /// equal; shared across clones).
+    lagrange: LagrangeCache,
 }
 
 impl AggregateScheme {
@@ -139,6 +144,7 @@ impl AggregateScheme {
             h_table: G1Table::new(&bases.h.to_projective()),
             bases,
             hash_dst: t,
+            lagrange: LagrangeCache::new(),
         }
     }
 
@@ -196,6 +202,7 @@ impl AggregateScheme {
             width: 2,
             mode: SharingMode::Fresh,
             aggregate: Some(self.bases),
+            checks: Default::default(),
         };
         let (outputs, metrics) = dkg_session(
             &cfg,
@@ -298,10 +305,13 @@ impl AggregateScheme {
             });
         }
         let indices: Vec<u32> = partials.iter().map(|p| p.index).collect();
-        let coeffs =
-            lagrange_coefficients_at_zero(&indices).map_err(|_| CombineError::BadIndices)?;
+        let coeffs = self
+            .lagrange
+            .at_zero(&indices)
+            .map_err(|_| CombineError::BadIndices)?;
         let weighted: Vec<(Fr, &OneTimeSignature)> = coeffs
-            .into_iter()
+            .iter()
+            .copied()
             .zip(partials.iter().map(|p| &p.sig))
             .collect();
         Ok(Signature {

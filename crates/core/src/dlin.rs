@@ -18,7 +18,7 @@
 use borndist_lhsps::{SdpParams, SdpPublicKey, SdpSecretKey, SdpSignature};
 use borndist_pairing::{hash_to_g1_vector, hash_to_g2, Fr, G1Projective};
 use borndist_shamir::{
-    lagrange_coefficients_at_zero, ThresholdParams, TripleBases, TripleCommitment, TripleSharing,
+    LagrangeCache, ThresholdParams, TripleBases, TripleCommitment, TripleSharing,
 };
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,9 @@ pub use crate::ro::CombineError;
 pub struct DlinScheme {
     params: SdpParams,
     hash_dst: Vec<u8>,
+    /// Memoized `Combine` coefficients per signer set (always compares
+    /// equal; shared across clones).
+    lagrange: LagrangeCache,
 }
 
 /// Public key `{(ĝ_k, ĥ_k)}_{k=1,2,3}`.
@@ -107,6 +110,7 @@ impl DlinScheme {
                 h_u: gen(b"/h_u"),
             },
             hash_dst: t,
+            lagrange: LagrangeCache::new(),
         }
     }
 
@@ -277,10 +281,13 @@ impl DlinScheme {
             });
         }
         let indices: Vec<u32> = partials.iter().map(|p| p.index).collect();
-        let coeffs =
-            lagrange_coefficients_at_zero(&indices).map_err(|_| CombineError::BadIndices)?;
+        let coeffs = self
+            .lagrange
+            .at_zero(&indices)
+            .map_err(|_| CombineError::BadIndices)?;
         let weighted: Vec<(Fr, &SdpSignature)> = coeffs
-            .into_iter()
+            .iter()
+            .copied()
             .zip(partials.iter().map(|p| &p.sig))
             .collect();
         Ok(DlinSignature {

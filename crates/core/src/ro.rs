@@ -26,7 +26,7 @@ use borndist_net::{Metrics, TransportKind};
 use borndist_pairing::codec::{CodecError, Wire};
 use borndist_pairing::{hash_to_g1_vector, hash_to_g2, Fr, G1Projective, G2Affine};
 use borndist_shamir::{
-    lagrange_coefficients_at_zero, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
+    LagrangeCache, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
 };
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,11 @@ pub struct ThresholdScheme {
     /// are cached once at scheme construction (ISSUE 3).
     prepared: PreparedDpParams,
     hash_dst: Vec<u8>,
+    /// Memoized `Combine` coefficients per qualified signer set — at
+    /// committee scale the signer set stabilizes and every signature
+    /// reuses the same `O(k²)` coefficient vector (always compares
+    /// equal, so the derived `PartialEq` above stays meaningful).
+    lagrange: LagrangeCache,
 }
 
 /// The public key `PK = (params, (ĝ_1, ĝ_2))`.
@@ -274,6 +279,7 @@ impl ThresholdScheme {
             prepared: params.prepare(),
             params,
             hash_dst: t,
+            lagrange: LagrangeCache::new(),
         }
     }
 
@@ -284,7 +290,13 @@ impl ThresholdScheme {
             prepared: params.prepare(),
             params,
             hash_dst,
+            lagrange: LagrangeCache::new(),
         }
+    }
+
+    /// The scheme's `Combine`-coefficient cache (shared across clones).
+    pub fn lagrange_cache(&self) -> &LagrangeCache {
+        &self.lagrange
     }
 
     /// The underlying generator pair `(ĝ_z, ĝ_r)`.
@@ -344,6 +356,7 @@ impl ThresholdScheme {
             width: 2,
             mode: SharingMode::Fresh,
             aggregate: None,
+            checks: Default::default(),
         }
     }
 
@@ -547,14 +560,72 @@ impl ThresholdScheme {
             });
         }
         let indices: Vec<u32> = partials.iter().map(|p| p.index).collect();
-        let coeffs =
-            lagrange_coefficients_at_zero(&indices).map_err(|_| CombineError::BadIndices)?;
+        let coeffs = self
+            .lagrange
+            .at_zero(&indices)
+            .map_err(|_| CombineError::BadIndices)?;
         let weighted: Vec<(Fr, &OneTimeSignature)> = coeffs
-            .into_iter()
+            .iter()
+            .copied()
             .zip(partials.iter().map(|p| &p.sig))
             .collect();
         Ok(Signature {
             sig: sign_derive(&weighted),
+        })
+    }
+
+    /// [`Self::combine`] with the interpolation MSM split into shards of
+    /// `shard_size` partials, derived in parallel and summed exactly in
+    /// the group — bit-identical output to [`Self::combine`] (group
+    /// addition is associative), but at `n = 1024` the combiner can fan
+    /// the work across cores instead of one serial Pippenger call.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::combine`].
+    pub fn combine_sharded(
+        &self,
+        params: &ThresholdParams,
+        partials: &[PartialSignature],
+        shard_size: usize,
+    ) -> Result<Signature, CombineError> {
+        if shard_size == 0 || partials.len() <= shard_size {
+            return self.combine(params, partials);
+        }
+        if partials.len() < params.reconstruction_size() {
+            return Err(CombineError::NotEnoughShares {
+                have: partials.len(),
+                need: params.reconstruction_size(),
+            });
+        }
+        let indices: Vec<u32> = partials.iter().map(|p| p.index).collect();
+        let coeffs = self
+            .lagrange
+            .at_zero(&indices)
+            .map_err(|_| CombineError::BadIndices)?;
+        let shards: Vec<(usize, usize)> = (0..partials.len())
+            .step_by(shard_size)
+            .map(|start| (start, (start + shard_size).min(partials.len())))
+            .collect();
+        let parts = borndist_parallel::par_map(&shards, |&(lo, hi)| {
+            let weighted: Vec<(Fr, &OneTimeSignature)> = coeffs[lo..hi]
+                .iter()
+                .copied()
+                .zip(partials[lo..hi].iter().map(|p| &p.sig))
+                .collect();
+            sign_derive(&weighted)
+        });
+        let mut z = G1Projective::identity();
+        let mut r = G1Projective::identity();
+        for part in &parts {
+            z = z.add_affine(&part.z);
+            r = r.add_affine(&part.r);
+        }
+        Ok(Signature {
+            sig: OneTimeSignature {
+                z: z.to_affine(),
+                r: r.to_affine(),
+            },
         })
     }
 

@@ -30,7 +30,7 @@ use borndist_pairing::{
     hash_to_g1, hash_to_g2, msm, sha256, Fr, G1Affine, G1Table, G2Affine, G2Projective,
 };
 use borndist_shamir::{
-    lagrange_coefficients_at_zero, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
+    LagrangeCache, PedersenBases, PedersenCommitment, Polynomial, ThresholdParams,
 };
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,9 @@ pub struct StandardScheme {
     /// Prepared `(ĝ_z, ĝ_r)` — the Groth–Sahai equation constants of
     /// every verification, cached once at scheme construction.
     dp_prepared: PreparedDpParams,
+    /// Memoized `Combine` coefficients per signer set (always compares
+    /// equal; shared across clones).
+    lagrange: LagrangeCache,
 }
 
 /// Public key `PK = ĝ₁ = ĝ_z^{a} ĝ_r^{b}`.
@@ -171,6 +174,7 @@ impl StandardScheme {
                 f_bits,
             },
             g_table: G1Table::new(&g.to_projective()),
+            lagrange: LagrangeCache::new(),
         }
     }
 
@@ -218,6 +222,7 @@ impl StandardScheme {
             width: 1,
             mode: SharingMode::Fresh,
             aggregate: None,
+            checks: Default::default(),
         };
         let (outputs, metrics) = dkg_session(
             &cfg,
@@ -393,8 +398,10 @@ impl StandardScheme {
             });
         }
         let indices: Vec<u32> = partials.iter().map(|p| p.index).collect();
-        let weights =
-            lagrange_coefficients_at_zero(&indices).map_err(|_| CombineError::BadIndices)?;
+        let weights = self
+            .lagrange
+            .at_zero(&indices)
+            .map_err(|_| CombineError::BadIndices)?;
         let tuples: Vec<(Vec<gs::Commitment>, &gs::Proof)> = partials
             .iter()
             .map(|p| (vec![p.c_z, p.c_r], &p.proof))
@@ -533,7 +540,7 @@ mod tests {
         // Reconstruct the joint key from shares and sign centrally.
         let (scheme, km, mut r) = setup(1, 3);
         let indices = vec![1u32, 2];
-        let coeffs = lagrange_coefficients_at_zero(&indices).unwrap();
+        let coeffs = borndist_shamir::lagrange_coefficients_at_zero(&indices).unwrap();
         let a = km.shares[&1].a * coeffs[0] + km.shares[&2].a * coeffs[1];
         let b = km.shares[&1].b * coeffs[0] + km.shares[&2].b * coeffs[1];
         let msg = b"central";

@@ -33,7 +33,8 @@ use borndist_net::{Delivered, Outgoing, PlayerId, Protocol, Recipient, RoundActi
 use borndist_pairing::{msm, multi_pairing, Fr, G1Affine, G1Projective, G2Affine};
 use borndist_parallel::par_map;
 use borndist_shamir::{
-    PedersenBases, PedersenCommitment, PedersenShare, PedersenSharing, ThresholdParams,
+    pedersen_check_verdicts, PedersenBases, PedersenCheck, PedersenCommitment, PedersenShare,
+    PedersenSharing, ThresholdParams,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +68,29 @@ pub enum SharingMode {
     Refresh,
 }
 
+/// How a player executes its per-dealer share-bundle checks.
+///
+/// Both strategies implement the **same** accept/reject semantics — the
+/// batched path bisects a failing batch down to plain per-share leaves,
+/// so a forged share among hundreds of honest dealers gets the same
+/// verdict either way (up to the negligible `|checks|/r` weight-collision
+/// probability of small-exponent batching). Complaint traffic, qualified
+/// sets and outputs are therefore identical under both strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// Fold all structurally valid bundles of a round into **one**
+    /// randomized cross-dealer multi-scalar multiplication
+    /// ([`borndist_shamir::pedersen_check_verdicts`]). The committee-scale
+    /// default: `O(n·t)` points in one Pippenger call instead of `n`
+    /// small MSMs.
+    #[default]
+    BatchedMsm,
+    /// One Pedersen evaluation per `(dealer, sharing)` — the literal
+    /// §3.1 check, kept as the reference path and the baseline leg of
+    /// the `dkg_scaling` release gate.
+    PerDealer,
+}
+
 /// Extra parameters of the Appendix G aggregate-capable variant:
 /// public `(g, h) ∈ G²` on which each dealer proves a one-time LHSPS.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +115,77 @@ pub struct DkgConfig {
     pub mode: SharingMode,
     /// Enables the Appendix G witness broadcast (requires `width == 2`).
     pub aggregate: Option<AggregateBases>,
+    /// How per-dealer share checks are executed (verdict-identical
+    /// strategies; see [`CheckStrategy`]).
+    pub checks: CheckStrategy,
+}
+
+/// One bundle judgment: the dealer's broadcast commitments, the share
+/// bundle under test (`None` = withheld/malformed), and the index every
+/// share in it must open the commitments at.
+type BundleCheck<'a> = (
+    &'a [PedersenCommitment],
+    Option<&'a [PedersenShare]>,
+    PlayerId,
+);
+
+/// Judges one share bundle per entry. Structural validity (bundle
+/// present, full width, shares addressed to the expected index) is
+/// decided outside the algebra; the algebraic checks then run per the
+/// configured [`CheckStrategy`]. The weights of the batched path come
+/// from `check_seed` — a stream separate from the dealing RNG, so the
+/// strategy choice never perturbs dealt messages or golden traffic.
+fn judge_bundles(cfg: &DkgConfig, check_seed: u64, items: &[BundleCheck<'_>]) -> Vec<bool> {
+    let mut verdicts: Vec<bool> = items
+        .iter()
+        .map(|(coms, bundle, idx)| {
+            bundle.is_some_and(|b| {
+                b.len() == cfg.width && coms.len() == cfg.width && b.iter().all(|s| s.index == *idx)
+            })
+        })
+        .collect();
+    match cfg.checks {
+        CheckStrategy::PerDealer => {
+            let idx: Vec<usize> = (0..items.len()).collect();
+            par_map_dealers(&idx, |&j| {
+                verdicts[j]
+                    && items[j]
+                        .1
+                        .expect("structurally valid bundle is present")
+                        .iter()
+                        .zip(items[j].0.iter())
+                        .all(|(s, c)| c.verify_share(&cfg.bases, s))
+            })
+        }
+        CheckStrategy::BatchedMsm => {
+            let mut checks: Vec<PedersenCheck<'_>> = Vec::new();
+            let mut owner: Vec<usize> = Vec::new();
+            for (j, ((coms, bundle, _), ok)) in items.iter().zip(verdicts.iter()).enumerate() {
+                if !*ok {
+                    continue;
+                }
+                for (s, c) in bundle
+                    .expect("structurally valid bundle is present")
+                    .iter()
+                    .zip(coms.iter())
+                {
+                    checks.push(PedersenCheck {
+                        commitment: c,
+                        share: *s,
+                    });
+                    owner.push(j);
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(check_seed);
+            let leaves = pedersen_check_verdicts(&cfg.bases, &checks, &mut rng);
+            for (o, v) in owner.iter().zip(leaves) {
+                if !v {
+                    verdicts[*o] = false;
+                }
+            }
+            verdicts
+        }
+    }
 }
 
 /// Fault-injection hooks. `Behavior::default()` is fully honest.
@@ -235,6 +330,18 @@ pub struct DkgPlayer {
     shares_from: BTreeMap<PlayerId, Vec<PedersenShare>>,
     complaints: BTreeMap<PlayerId, BTreeSet<PlayerId>>,
     answered: BTreeMap<(PlayerId, PlayerId), Vec<PedersenShare>>,
+    /// Seed of the batch-weight RNG stream — distinct from `rng` so the
+    /// check strategy never consumes dealing randomness. (Deterministic
+    /// seeding is a simulation affordance; a deployment would draw the
+    /// batch weights from fresh entropy.)
+    check_seed: u64,
+    /// Calls into [`judge_bundles`] so far; salts `check_seed` per call.
+    check_calls: u64,
+    /// Round-1 verdicts on our own private bundles, per dealer. For any
+    /// dealer still qualified at finalize time the inputs (broadcast
+    /// commitments, private bundle) are immutable after round 1, so
+    /// finalize reuses these instead of re-verifying.
+    private_verdicts: BTreeMap<PlayerId, bool>,
 }
 
 impl DkgPlayer {
@@ -269,7 +376,17 @@ impl DkgPlayer {
             shares_from: BTreeMap::new(),
             complaints: BTreeMap::new(),
             answered: BTreeMap::new(),
+            check_seed: seed ^ ((id as u64) << 32) ^ 0xb47c_5eed_0c8e_c25a,
+            check_calls: 0,
+            private_verdicts: BTreeMap::new(),
         }
+    }
+
+    /// Fresh per-call seed for the batch-weight RNG.
+    fn next_check_seed(&mut self) -> u64 {
+        let nonce = self.check_calls;
+        self.check_calls += 1;
+        self.check_seed ^ nonce.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     fn n(&self) -> usize {
@@ -353,20 +470,6 @@ impl DkgPlayer {
             }
         }
         true
-    }
-
-    /// Checks a full-width share bundle against a dealer's commitments.
-    fn shares_valid(
-        &self,
-        dealer_commitments: &[PedersenCommitment],
-        shares: &[PedersenShare],
-        expected_index: PlayerId,
-    ) -> bool {
-        shares.len() == self.cfg.width
-            && shares
-                .iter()
-                .zip(dealer_commitments.iter())
-                .all(|(s, c)| s.index == expected_index && c.verify_share(&self.cfg.bases, s))
     }
 
     // --- round bodies ---
@@ -506,20 +609,26 @@ impl DkgPlayer {
             .filter(|d| !self.globally_bad.contains(d) && !self.commitments.contains_key(d))
             .collect();
         self.globally_bad.extend(missing);
-        // Per-dealing share verification — the Pedersen commitment
-        // evaluation per dealer is independent pure work, fanned out
-        // across threads (borndist_parallel).
+        // Share verification across all dealers at once — one randomized
+        // cross-dealer MSM under `CheckStrategy::BatchedMsm`, per-dealer
+        // pure work fanned across threads under `PerDealer`.
         let dealers: Vec<PlayerId> = (1..=self.n() as PlayerId)
             .filter(|d| !self.globally_bad.contains(d))
             .collect();
-        let verdicts = par_map_dealers(&dealers, |dealer| {
-            let coms = &self.commitments[dealer];
-            self.shares_from
-                .get(dealer)
-                .map(|shares| self.shares_valid(coms, shares, self.id))
-                .unwrap_or(false)
-        });
+        let check_seed = self.next_check_seed();
+        let items: Vec<BundleCheck<'_>> = dealers
+            .iter()
+            .map(|d| {
+                (
+                    self.commitments[d].as_slice(),
+                    self.shares_from.get(d).map(|v| v.as_slice()),
+                    self.id,
+                )
+            })
+            .collect();
+        let verdicts = judge_bundles(&self.cfg, check_seed, &items);
         for (dealer, ok) in dealers.iter().zip(verdicts) {
+            self.private_verdicts.insert(*dealer, ok);
             if !ok {
                 against.insert(*dealer);
             }
@@ -585,29 +694,42 @@ impl DkgPlayer {
 
     fn finalize(&mut self) -> Result<DkgOutput, DkgAbort> {
         // Determine the qualified set Q from broadcast-only information,
-        // so every honest player derives the same set. Each dealer's
-        // verdict — including the complaint-answer share verifications —
-        // is a pure function of the broadcast record, so the dealers are
-        // judged across threads.
-        let all_dealers: Vec<PlayerId> = (1..=self.n() as PlayerId).collect();
+        // so every honest player derives the same set. The public
+        // pre-filter (globally bad, missing broadcast, more than `t`
+        // complaints) costs no algebra; the surviving complaint-answer
+        // share checks are a pure function of the broadcast record and
+        // fold into one cross-dealer batch under
+        // `CheckStrategy::BatchedMsm` — zero MSMs in a complaint-free
+        // run.
         let no_complaints = BTreeSet::new();
-        let keep = par_map_dealers(&all_dealers, |dealer| {
-            if self.globally_bad.contains(dealer) || !self.commitments.contains_key(dealer) {
-                return false;
-            }
-            let complainers = self.complaints.get(dealer).unwrap_or(&no_complaints);
-            if complainers.len() > self.t() {
-                return false;
-            }
-            let coms = &self.commitments[dealer];
-            complainers.iter().all(|c| {
-                self.answered
-                    .get(&(*dealer, *c))
-                    .map(|shares| self.shares_valid(coms, shares, *c))
-                    .unwrap_or(false)
+        let survivors: Vec<PlayerId> = (1..=self.n() as PlayerId)
+            .filter(|dealer| {
+                !self.globally_bad.contains(dealer)
+                    && self.commitments.contains_key(dealer)
+                    && self.complaints.get(dealer).unwrap_or(&no_complaints).len() <= self.t()
             })
-        });
-        let qualified: BTreeSet<PlayerId> = all_dealers
+            .collect();
+        let check_seed = self.next_check_seed();
+        let mut items: Vec<BundleCheck<'_>> = Vec::new();
+        let mut owner: Vec<usize> = Vec::new();
+        for (pos, dealer) in survivors.iter().enumerate() {
+            for c in self.complaints.get(dealer).unwrap_or(&no_complaints) {
+                items.push((
+                    self.commitments[dealer].as_slice(),
+                    self.answered.get(&(*dealer, *c)).map(|v| v.as_slice()),
+                    *c,
+                ));
+                owner.push(pos);
+            }
+        }
+        let answer_ok = judge_bundles(&self.cfg, check_seed, &items);
+        let mut keep = vec![true; survivors.len()];
+        for (pos, ok) in owner.iter().zip(answer_ok) {
+            if !ok {
+                keep[*pos] = false;
+            }
+        }
+        let qualified: BTreeSet<PlayerId> = survivors
             .iter()
             .zip(keep.iter())
             .filter(|(_, keep)| **keep)
@@ -621,17 +743,15 @@ impl DkgPlayer {
         }
 
         // Per-sharing secret share: sum of dealer shares, preferring the
-        // publicly answered share when we complained. The per-dealer
-        // validity of our private bundle is again parallel pure work.
+        // publicly answered share when we complained. The verdict on our
+        // own private bundle was computed (and cached) in the complaint
+        // round over exactly these inputs — qualified dealers' bundles
+        // are immutable after round 1 — so no second verification pass
+        // is paid here.
         let q_list: Vec<PlayerId> = qualified.iter().copied().collect();
-        let private_ok = par_map_dealers(&q_list, |dealer| {
-            self.shares_from
-                .get(dealer)
-                .map(|s| self.shares_valid(&self.commitments[dealer], s, self.id))
-                .unwrap_or(false)
-        });
         let mut share = vec![(Fr::zero(), Fr::zero()); self.cfg.width];
-        for (dealer, use_private) in q_list.iter().zip(private_ok) {
+        for dealer in q_list.iter() {
+            let use_private = self.private_verdicts.get(dealer).copied().unwrap_or(false);
             let bundle: &Vec<PedersenShare> = if use_private {
                 &self.shares_from[dealer]
             } else if let Some(ans) = self.answered.get(&(*dealer, self.id)) {
@@ -812,5 +932,6 @@ pub fn standard_config(
         width,
         mode: SharingMode::Fresh,
         aggregate: agg,
+        checks: CheckStrategy::default(),
     }
 }

@@ -194,6 +194,14 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
     let (client, _) = client_listener.accept()?;
     let mut client_out = client.try_clone()?;
 
+    // Receive timestamps of in-flight verify requests, stamped by the
+    // reader thread and consumed by the writer when the verdict goes
+    // out — the verify-path analogue of the mux's sign-latency stamps.
+    let verify_stamps: std::sync::Arc<
+        std::sync::Mutex<std::collections::HashMap<u64, std::time::Instant>>,
+    > = std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+    let stamps_in = std::sync::Arc::clone(&verify_stamps);
+
     // Reader thread: client frames → the matching intake. Dropping both
     // senders when the client says Shutdown (or hangs up) is what lets
     // the coordinator drain the mesh and the gateway flush its buffers.
@@ -214,6 +222,10 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
                     msg,
                     sig,
                 }) => {
+                    stamps_in
+                        .lock()
+                        .expect("verify stamps poisoned")
+                        .insert(id, std::time::Instant::now());
                     if gw_tx
                         .send(VerifyRequest {
                             id,
@@ -236,10 +248,20 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
     // (signed forwarder + gateway worker) has hung up.
     let mut served = 0u64;
     let mut verified = 0u64;
+    let mut verify_samples: Vec<std::time::Duration> = Vec::new();
     for resp in responses_rx {
         match &resp {
             ClientResponse::Signed { .. } => served += 1,
-            ClientResponse::Verified { .. } => verified += 1,
+            ClientResponse::Verified { id, .. } => {
+                verified += 1;
+                if let Some(t0) = verify_stamps
+                    .lock()
+                    .expect("verify stamps poisoned")
+                    .remove(id)
+                {
+                    verify_samples.push(t0.elapsed());
+                }
+            }
             ClientResponse::Summary { .. } => {}
         }
         write_frame(&mut client_out, &resp)?;
@@ -271,6 +293,7 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
             served,
             verified,
             sign_latency: LatencySummary::from_samples(&latencies),
+            verify_latency: LatencySummary::from_samples(&verify_samples),
         },
     )?;
     Ok(())
@@ -460,6 +483,7 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         served,
         verified,
         sign_latency,
+        verify_latency,
     } = summary
     else {
         return Err(proto("expected Summary after Shutdown"));
@@ -495,6 +519,12 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
             sign_latency.count, served
         )));
     }
+    if verify_latency.count != verified {
+        return Err(proto(format!(
+            "verify latency summary covers {} of {} answered requests",
+            verify_latency.count, verified
+        )));
+    }
 
     for (i, child) in players.into_iter().enumerate() {
         wait_ok(child, &format!("player {}", i + 1))?;
@@ -502,7 +532,7 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     wait_ok(frontend, "frontend")?;
 
     println!(
-        "SMOKE OK: {} requests signed, {} verified by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}; sign p50/p99 {:?}/{:?}",
+        "SMOKE OK: {} requests signed, {} verified by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}; sign p50/p99 {:?}/{:?}; verify p50/p99 {:?}/{:?}",
         requests,
         verified,
         n + 1,
@@ -512,6 +542,8 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         top.max_in_flight,
         sign_latency.p50,
         sign_latency.p99,
+        verify_latency.p50,
+        verify_latency.p99,
     );
     Ok(())
 }

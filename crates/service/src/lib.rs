@@ -520,6 +520,9 @@ pub enum ClientResponse {
         /// percentiles for the signing path (includes backpressure
         /// queueing).
         sign_latency: LatencySummary,
+        /// Per-request receive → verdict wall-clock percentiles for the
+        /// verification gateway path.
+        verify_latency: LatencySummary,
     },
 }
 
@@ -544,6 +547,7 @@ impl Wire for ClientResponse {
                 served,
                 verified,
                 sign_latency,
+                verify_latency,
             } => {
                 out.push(TAG_SUMMARY);
                 public_key.encode_to(out);
@@ -552,6 +556,7 @@ impl Wire for ClientResponse {
                 served.encode_to(out);
                 verified.encode_to(out);
                 sign_latency.encode_to(out);
+                verify_latency.encode_to(out);
             }
         }
     }
@@ -577,6 +582,7 @@ impl Wire for ClientResponse {
                 served: u64::decode(input)?,
                 verified: u64::decode(input)?,
                 sign_latency: LatencySummary::decode(input)?,
+                verify_latency: LatencySummary::decode(input)?,
             }),
             tag => Err(CodecError::InvalidTag(tag)),
         }

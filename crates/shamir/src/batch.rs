@@ -1,0 +1,327 @@
+//! Cross-dealer batched VSS share verification.
+//!
+//! In an `n`-player DKG every receiver checks one share bundle per
+//! dealer, and each check is its own `(t+1)`-point multi-scalar
+//! multiplication — `n` small MSMs per player, `O(n²·t)` group work per
+//! run. This module folds all of a receiver's per-dealer checks into
+//! **one** MSM with random weights: for Pedersen checks
+//! `ĝ_z^{a_j} ĝ_r^{b_j} = Π_ℓ Ŵ_{jℓ}^{x_j^ℓ}` and weights `ρ_j`,
+//!
+//! ```text
+//!   ĝ_z^{Σ_j ρ_j a_j} · ĝ_r^{Σ_j ρ_j b_j} · Π_j Π_ℓ Ŵ_{jℓ}^{-ρ_j x_j^ℓ} = 1
+//! ```
+//!
+//! holds iff every individual check holds, except with probability
+//! `≈ |checks| / r` over the weights (the standard small-exponent
+//! batching argument; `r` is the group order, so the slack is
+//! negligible). One big MSM is both asymptotically and practically
+//! cheaper than `n` small ones: Pippenger's bucket width grows with the
+//! point count, and the `dkg_scaling` release gate records the measured
+//! ratio at committee scale.
+//!
+//! The verdict functions ([`pedersen_check_verdicts`],
+//! [`feldman_check_verdicts`]) preserve *exact* per-check accept/reject
+//! semantics: a passing batch accepts everything, a failing batch
+//! bisects, and every leaf is decided by the plain per-dealer check —
+//! so a forged share hidden among hundreds of honest dealers is still
+//! pinpointed, at `O(log n)` extra batch evaluations.
+
+use crate::feldman::FeldmanCommitment;
+use crate::pedersen::{PedersenBases, PedersenCommitment, PedersenShare};
+use borndist_pairing::{msm, Affine, CurveParams, Fr, Projective};
+use rand::RngCore;
+
+/// One Pedersen share check: does `share` open `commitment` at
+/// `share.index`? (§3.1 equation (1), one dealer's column.)
+#[derive(Clone, Copy, Debug)]
+pub struct PedersenCheck<'a> {
+    /// The dealer's broadcast commitment vector.
+    pub commitment: &'a PedersenCommitment,
+    /// The share pair to check against it.
+    pub share: PedersenShare,
+}
+
+/// One Feldman share check: does `g^{share}` equal the commitment
+/// evaluated at `index`?
+#[derive(Clone, Copy, Debug)]
+pub struct FeldmanCheck<'a, C: CurveParams> {
+    /// The dealer's broadcast commitment vector.
+    pub commitment: &'a FeldmanCommitment<C>,
+    /// Recipient index (1-based).
+    pub index: u32,
+    /// The share value to check.
+    pub share: Fr,
+}
+
+/// Evaluates the folded Pedersen equation over `checks[idxs]`.
+fn pedersen_subset_holds(
+    bases: &PedersenBases,
+    checks: &[PedersenCheck<'_>],
+    idxs: &[usize],
+    rng: &mut dyn RngCore,
+) -> bool {
+    let width: usize = idxs.iter().map(|&i| checks[i].commitment.len()).sum();
+    let mut points = Vec::with_capacity(width + 2);
+    let mut scalars = Vec::with_capacity(width + 2);
+    let mut s_z = Fr::zero();
+    let mut s_r = Fr::zero();
+    for &i in idxs {
+        let check = &checks[i];
+        let rho = Fr::random_nonzero(rng);
+        s_z += rho * check.share.a;
+        s_r += rho * check.share.b;
+        let x = Fr::from_u64(check.share.index as u64);
+        // Running scalar ρ_j · x_j^ℓ, negated so the whole equation
+        // folds into one identity test.
+        let mut pow = rho;
+        for w in check.commitment.elements() {
+            points.push(*w);
+            scalars.push(Fr::zero() - pow);
+            pow *= x;
+        }
+    }
+    points.push(bases.g_z);
+    scalars.push(s_z);
+    points.push(bases.g_r);
+    scalars.push(s_r);
+    msm(&points, &scalars).is_identity()
+}
+
+/// Evaluates the folded Feldman equation over `checks[idxs]`.
+fn feldman_subset_holds<C: CurveParams>(
+    g: &Projective<C>,
+    checks: &[FeldmanCheck<'_, C>],
+    idxs: &[usize],
+    rng: &mut dyn RngCore,
+) -> bool {
+    let width: usize = idxs.iter().map(|&i| checks[i].commitment.len()).sum();
+    let mut points: Vec<Affine<C>> = Vec::with_capacity(width + 1);
+    let mut scalars = Vec::with_capacity(width + 1);
+    let mut s = Fr::zero();
+    for &i in idxs {
+        let check = &checks[i];
+        let rho = Fr::random_nonzero(rng);
+        s += rho * check.share;
+        let x = Fr::from_u64(check.index as u64);
+        let mut pow = rho;
+        for c in check.commitment.elements() {
+            points.push(*c);
+            scalars.push(Fr::zero() - pow);
+            pow *= x;
+        }
+    }
+    points.push(g.to_affine());
+    scalars.push(s);
+    msm(&points, &scalars).is_identity()
+}
+
+/// `true` iff (whp over the weights) every Pedersen check holds — the
+/// one-MSM fast path for the all-honest case.
+pub fn pedersen_batch_verify(
+    bases: &PedersenBases,
+    checks: &[PedersenCheck<'_>],
+    rng: &mut dyn RngCore,
+) -> bool {
+    if checks.is_empty() {
+        return true;
+    }
+    let all: Vec<usize> = (0..checks.len()).collect();
+    pedersen_subset_holds(bases, checks, &all, rng)
+}
+
+/// `true` iff (whp over the weights) every Feldman check holds.
+pub fn feldman_batch_verify<C: CurveParams>(
+    g: &Projective<C>,
+    checks: &[FeldmanCheck<'_, C>],
+    rng: &mut dyn RngCore,
+) -> bool {
+    if checks.is_empty() {
+        return true;
+    }
+    let all: Vec<usize> = (0..checks.len()).collect();
+    feldman_subset_holds(g, checks, &all, rng)
+}
+
+/// Per-check verdicts via batch-then-bisect: identical accept/reject
+/// behavior to calling [`PedersenCommitment::verify_share`] per check
+/// (a failing subset bisects down to plain per-check leaves; only a
+/// `≈ |checks|/r` weight collision could mask a forgery).
+pub fn pedersen_check_verdicts(
+    bases: &PedersenBases,
+    checks: &[PedersenCheck<'_>],
+    rng: &mut dyn RngCore,
+) -> Vec<bool> {
+    let mut verdicts = vec![true; checks.len()];
+    let mut stack: Vec<Vec<usize>> = vec![(0..checks.len()).collect()];
+    while let Some(idxs) = stack.pop() {
+        match idxs.len() {
+            0 => {}
+            1 => {
+                let check = &checks[idxs[0]];
+                verdicts[idxs[0]] = check.commitment.verify_share(bases, &check.share);
+            }
+            _ => {
+                if !pedersen_subset_holds(bases, checks, &idxs, rng) {
+                    let mid = idxs.len() / 2;
+                    stack.push(idxs[mid..].to_vec());
+                    stack.push(idxs[..mid].to_vec());
+                }
+            }
+        }
+    }
+    verdicts
+}
+
+/// Per-check verdicts via batch-then-bisect — the Feldman analogue of
+/// [`pedersen_check_verdicts`], with the same exactness contract
+/// relative to [`FeldmanCommitment::verify_share`].
+pub fn feldman_check_verdicts<C: CurveParams>(
+    g: &Projective<C>,
+    checks: &[FeldmanCheck<'_, C>],
+    rng: &mut dyn RngCore,
+) -> Vec<bool> {
+    let mut verdicts = vec![true; checks.len()];
+    let mut stack: Vec<Vec<usize>> = vec![(0..checks.len()).collect()];
+    while let Some(idxs) = stack.pop() {
+        match idxs.len() {
+            0 => {}
+            1 => {
+                let check = &checks[idxs[0]];
+                verdicts[idxs[0]] = check.commitment.verify_share(check.index, check.share, g);
+            }
+            _ => {
+                if !feldman_subset_holds(g, checks, &idxs, rng) {
+                    let mid = idxs.len() / 2;
+                    stack.push(idxs[mid..].to_vec());
+                    stack.push(idxs[..mid].to_vec());
+                }
+            }
+        }
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pedersen::PedersenSharing;
+    use crate::polynomial::Polynomial;
+    use borndist_pairing::{G1Projective, G2Projective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xba7c)
+    }
+
+    fn bases(r: &mut StdRng) -> PedersenBases {
+        PedersenBases {
+            g_z: G2Projective::random(r).to_affine(),
+            g_r: G2Projective::random(r).to_affine(),
+        }
+    }
+
+    #[test]
+    fn honest_batch_accepts() {
+        let mut r = rng();
+        let b = bases(&mut r);
+        let sharings: Vec<PedersenSharing> = (0..9)
+            .map(|_| PedersenSharing::deal_random(&b, 3, &mut r))
+            .collect();
+        let checks: Vec<PedersenCheck<'_>> = sharings
+            .iter()
+            .map(|s| PedersenCheck {
+                commitment: &s.commitment,
+                share: s.share_for(4),
+            })
+            .collect();
+        assert!(pedersen_batch_verify(&b, &checks, &mut r));
+        assert!(pedersen_check_verdicts(&b, &checks, &mut r)
+            .iter()
+            .all(|&v| v));
+    }
+
+    #[test]
+    fn single_forgery_located() {
+        let mut r = rng();
+        let b = bases(&mut r);
+        let sharings: Vec<PedersenSharing> = (0..13)
+            .map(|_| PedersenSharing::deal_random(&b, 2, &mut r))
+            .collect();
+        let mut checks: Vec<PedersenCheck<'_>> = sharings
+            .iter()
+            .map(|s| PedersenCheck {
+                commitment: &s.commitment,
+                share: s.share_for(2),
+            })
+            .collect();
+        checks[7].share.a += Fr::one();
+        assert!(!pedersen_batch_verify(&b, &checks, &mut r));
+        let verdicts = pedersen_check_verdicts(&b, &checks, &mut r);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, i != 7, "verdict {} wrong", i);
+        }
+    }
+
+    #[test]
+    fn mixed_indices_batch() {
+        // Complaint answers check shares for *other* indices; the fold
+        // must track a per-check evaluation point.
+        let mut r = rng();
+        let b = bases(&mut r);
+        let sharings: Vec<PedersenSharing> = (0..6)
+            .map(|_| PedersenSharing::deal_random(&b, 2, &mut r))
+            .collect();
+        let checks: Vec<PedersenCheck<'_>> = sharings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| PedersenCheck {
+                commitment: &s.commitment,
+                share: s.share_for(i as u32 + 1),
+            })
+            .collect();
+        assert!(pedersen_batch_verify(&b, &checks, &mut r));
+    }
+
+    #[test]
+    fn empty_batch_accepts() {
+        let mut r = rng();
+        let b = bases(&mut r);
+        assert!(pedersen_batch_verify(&b, &[], &mut r));
+        assert!(pedersen_check_verdicts(&b, &[], &mut r).is_empty());
+        let g = G1Projective::generator();
+        assert!(feldman_batch_verify::<borndist_pairing::G1Params>(
+            &g,
+            &[],
+            &mut r
+        ));
+    }
+
+    #[test]
+    fn feldman_batch_and_bisect() {
+        let mut r = rng();
+        let g = G1Projective::generator();
+        let polys: Vec<Polynomial> = (0..10).map(|_| Polynomial::random(3, &mut r)).collect();
+        let commitments: Vec<FeldmanCommitment<borndist_pairing::G1Params>> = polys
+            .iter()
+            .map(|p| FeldmanCommitment::commit(p, &g))
+            .collect();
+        let mut checks: Vec<FeldmanCheck<'_, _>> = polys
+            .iter()
+            .zip(commitments.iter())
+            .map(|(p, c)| FeldmanCheck {
+                commitment: c,
+                index: 5,
+                share: p.evaluate_at_index(5),
+            })
+            .collect();
+        assert!(feldman_batch_verify(&g, &checks, &mut r));
+        checks[3].share += Fr::one();
+        checks[8].share -= Fr::one();
+        assert!(!feldman_batch_verify(&g, &checks, &mut r));
+        let verdicts = feldman_check_verdicts(&g, &checks, &mut r);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, i != 3 && i != 8, "verdict {} wrong", i);
+        }
+    }
+}

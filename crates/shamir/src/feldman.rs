@@ -38,6 +38,12 @@ impl<C: CurveParams> FeldmanCommitment<C> {
         self.commitments.is_empty()
     }
 
+    /// The raw broadcast elements `C_ℓ` (coefficient order) — what the
+    /// cross-dealer batch verifier folds into its single MSM.
+    pub fn elements(&self) -> &[Affine<C>] {
+        &self.commitments
+    }
+
     /// The commitment to the constant term, `g^{P(0)}` — the public key
     /// contribution in Feldman-based DKGs.
     pub fn constant_commitment(&self) -> Affine<C> {

@@ -6,6 +6,8 @@
 //! `Π σ_i^{Δ_{i,S}(0)} = g^{P(0)}`.
 
 use borndist_pairing::{msm, Affine, CurveParams, Fr, Projective};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Errors arising from interpolation inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,77 @@ pub fn lagrange_coefficients_at(indices: &[u32], x: Fr) -> Result<Vec<Fr>, Lagra
 pub fn lagrange_coefficients_at_zero(indices: &[u32]) -> Result<Vec<Fr>, LagrangeError> {
     lagrange_coefficients_at(indices, Fr::zero())
 }
+
+/// Memoizes [`lagrange_coefficients_at_zero`] per *ordered* index set.
+///
+/// At committee scale, `Combine` recomputes the same `O(k²)`-field-op
+/// coefficient vector for every signature as soon as the qualified
+/// signer set stabilizes; the cache makes every repeat lookup a hash
+/// probe. Keys are the exact index sequence (coefficients are returned
+/// in input order, so order is part of the identity). Bounded: at
+/// [`LagrangeCache::MAX_SETS`] distinct sets the cache resets — a
+/// workload churning through that many distinct qualified sets was not
+/// amortizing anyway.
+///
+/// Cloning shares the underlying storage, so a scheme and its clones
+/// warm one another across threads.
+#[derive(Clone, Debug, Default)]
+pub struct LagrangeCache {
+    sets: Arc<Mutex<CoefficientSets>>,
+}
+
+/// Shared storage of [`LagrangeCache`]: ordered index set → coefficients.
+type CoefficientSets = HashMap<Vec<u32>, Arc<Vec<Fr>>>;
+
+impl LagrangeCache {
+    /// Number of distinct index sets retained before the cache resets.
+    pub const MAX_SETS: usize = 512;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`lagrange_coefficients_at_zero`] through the cache. Errors are
+    /// never cached (they are cheap to rediscover and carry no work).
+    pub fn at_zero(&self, indices: &[u32]) -> Result<Arc<Vec<Fr>>, LagrangeError> {
+        if let Some(hit) = self
+            .sets
+            .lock()
+            .expect("lagrange cache poisoned")
+            .get(indices)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let fresh = Arc::new(lagrange_coefficients_at_zero(indices)?);
+        let mut sets = self.sets.lock().expect("lagrange cache poisoned");
+        if sets.len() >= Self::MAX_SETS {
+            sets.clear();
+        }
+        sets.insert(indices.to_vec(), Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Number of coefficient sets currently cached.
+    pub fn cached_sets(&self) -> usize {
+        self.sets.lock().expect("lagrange cache poisoned").len()
+    }
+
+    /// Drops every cached set (cold-start measurements, tests).
+    pub fn clear(&self) {
+        self.sets.lock().expect("lagrange cache poisoned").clear();
+    }
+}
+
+/// Two caches always compare equal: contents are a performance
+/// artifact, not part of the identity of any scheme embedding one —
+/// this is what lets scheme types keep their derived `PartialEq`.
+impl PartialEq for LagrangeCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+impl Eq for LagrangeCache {}
 
 /// Interpolates the unique degree-`|points|-1` polynomial through
 /// `points = [(i, y_i)]` and evaluates it at `x`.

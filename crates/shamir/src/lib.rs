@@ -21,6 +21,7 @@
 //! assert_eq!(reconstruct(&shares[1..4]).unwrap(), secret);
 //! ```
 
+mod batch;
 mod feldman;
 mod lagrange;
 mod pedersen;
@@ -28,10 +29,14 @@ mod pedersen_triple;
 mod polynomial;
 mod sss;
 
+pub use batch::{
+    feldman_batch_verify, feldman_check_verdicts, pedersen_batch_verify, pedersen_check_verdicts,
+    FeldmanCheck, PedersenCheck,
+};
 pub use feldman::FeldmanCommitment;
 pub use lagrange::{
     interpolate_at, interpolate_in_exponent, lagrange_coefficients_at,
-    lagrange_coefficients_at_zero, LagrangeError,
+    lagrange_coefficients_at_zero, LagrangeCache, LagrangeError,
 };
 pub use pedersen::{PedersenBases, PedersenCommitment, PedersenShare, PedersenSharing};
 pub use pedersen_triple::{TripleBases, TripleCommitment, TripleShare, TripleSharing};

@@ -151,6 +151,12 @@ impl PedersenCommitment {
         self.w.is_empty()
     }
 
+    /// The raw broadcast elements `Ŵ_ℓ` (coefficient order) — what the
+    /// cross-dealer batch verifier folds into its single MSM.
+    pub fn elements(&self) -> &[G2Affine] {
+        &self.w
+    }
+
     /// The commitment to the constant coefficients,
     /// `Ŵ_0 = ĝ_z^{a} ĝ_r^{b}` — the dealer's public-key contribution.
     pub fn constant_commitment(&self) -> G2Affine {

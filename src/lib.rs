@@ -18,6 +18,7 @@
 //! | [`grothsahai`] | SXDH Groth–Sahai NIWI proofs for linear pairing-product equations (§4, Appendix A) |
 //! | [`core`] | the paper's schemes: §3 ROM, Appendix G aggregation, Appendix F DLIN, §4 standard model, §3.3 proactive epochs |
 //! | [`baselines`] | plain BLS, Boldyreva threshold BLS, additive-reshare (ADN-style) scheme, RSA size constants |
+//! | [`sim`] | scripted adaptive-adversary scenario matrix over the fault-injection transports, gated per scenario in CI |
 //! | [`prelude`] | the service-facing surface in one import: schemes, `Wire`, transports, session drivers, `Parallelism` |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
@@ -82,3 +83,4 @@ pub use borndist_net as net;
 pub use borndist_pairing as pairing;
 pub use borndist_parallel as parallel;
 pub use borndist_shamir as shamir;
+pub use borndist_sim as sim;
