@@ -1,0 +1,153 @@
+//! Reactor framing-layer throughput: the incremental codecs every
+//! socket byte crosses under `TransportKind::TcpReactor` (PR 10).
+//!
+//! Three costs bound how fast the single poll loop can move frames:
+//! encoding an envelope with its length prefix (`frame_envelope`),
+//! extracting envelopes from an inbound byte stream (`FrameReader`),
+//! and draining a writer queue through partial writes (`WriteQueue`).
+//! The reader is measured both on whole-frame batches (the loopback
+//! fast path) and on adversarially fragmented chunks (the partial-read
+//! resumption path the reactor exists to handle).
+
+use borndist_net::mesh::{frame_envelope, Envelope, Flush, FrameReader, WriteQueue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A representative round of mesh traffic: one broadcast plus one
+/// private payload per peer, then the round barrier.
+fn round_envelopes(peers: u32, frame_len: usize) -> Vec<Envelope> {
+    let mut envs = Vec::new();
+    for round in 0..2u32 {
+        for _ in 0..peers {
+            envs.push(Envelope::Payload {
+                round,
+                broadcast: true,
+                frame: vec![0xA5; frame_len],
+            });
+            envs.push(Envelope::Payload {
+                round,
+                broadcast: false,
+                frame: vec![0x5A; frame_len],
+            });
+        }
+        envs.push(Envelope::EndRound { round });
+    }
+    envs
+}
+
+fn wire_bytes(envs: &[Envelope]) -> Vec<u8> {
+    envs.iter().flat_map(frame_envelope).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framing_encode");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for frame_len in [64usize, 1024, 16 * 1024] {
+        let env = Envelope::Payload {
+            round: 3,
+            broadcast: false,
+            frame: vec![0xA5; frame_len],
+        };
+        g.bench_with_input(
+            BenchmarkId::new("frame_envelope", frame_len),
+            &env,
+            |b, env| b.iter(|| frame_envelope(env)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_reader(c: &mut Criterion) {
+    let envs = round_envelopes(16, 1024);
+    let bytes = wire_bytes(&envs);
+
+    let mut g = c.benchmark_group("framing_reader");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    // Loopback fast path: the whole round arrives in one read.
+    g.bench_function("feed_whole", |b| {
+        b.iter(|| {
+            let mut reader = FrameReader::new();
+            let out = reader.feed(&bytes).unwrap();
+            assert_eq!(out.len(), envs.len());
+            out
+        })
+    });
+
+    // Fragmented path: every read stops mid-frame, so each chunk after
+    // the first is a partial-read resumption.
+    for chunk in [7usize, 100, 1500] {
+        g.bench_with_input(BenchmarkId::new("feed_chunked", chunk), &chunk, |b, &sz| {
+            b.iter(|| {
+                let mut reader = FrameReader::new();
+                let mut total = 0usize;
+                for piece in bytes.chunks(sz) {
+                    total += reader.feed(piece).unwrap().len();
+                }
+                assert_eq!(total, envs.len());
+                assert!(reader.resumptions() > 0);
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A sink that accepts at most `cap` bytes per write, forcing the
+/// queue through its partial-write offset bookkeeping.
+struct Throttled {
+    out: Vec<u8>,
+    cap: usize,
+}
+
+impl std::io::Write for Throttled {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bench_writer(c: &mut Criterion) {
+    let envs = round_envelopes(16, 1024);
+    let total: u64 = envs.iter().map(|e| frame_envelope(e).len() as u64).sum();
+
+    let mut g = c.benchmark_group("framing_writer");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for cap in [usize::MAX, 1500] {
+        let label = if cap == usize::MAX {
+            "unthrottled"
+        } else {
+            "mtu1500"
+        };
+        g.bench_function(BenchmarkId::new("flush", label), |b| {
+            b.iter(|| {
+                let mut q = WriteQueue::new();
+                for env in &envs {
+                    q.push(env);
+                }
+                let mut sink = Throttled {
+                    out: Vec::with_capacity(total as usize),
+                    cap,
+                };
+                assert_eq!(q.flush(&mut sink), Flush::Drained);
+                assert_eq!(sink.out.len() as u64, total);
+                sink.out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_reader, bench_writer);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Each bench target regenerates one experiment from the index in
 //! DESIGN.md §3 (the paper has no numbered tables/figures; its
-//! quantitative claims are mapped to experiments E1–E10 there).
+//! quantitative claims are mapped to experiments E1–E13 there).
 
 use borndist_core::ro::{KeyMaterial, ThresholdScheme};
 use borndist_shamir::ThresholdParams;

@@ -389,6 +389,173 @@ fn tcp_faulted_run_matches_channel_byte_for_byte() {
 }
 
 #[test]
+fn reactor_matches_channel_byte_for_byte() {
+    // The event-driven reactor runs the same DKG through one poll loop
+    // per process instead of a thread pair per peer. Routing, metering
+    // and fault injection live in the shared mesh engine, so the merged
+    // metrics must equal the in-process transports bit for bit.
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let cfg = standard_config(params, 2, b"reactor-parity", false);
+    let behaviors = BTreeMap::new();
+    let (out_chan, m_chan) = dkg_session(
+        &cfg,
+        &behaviors,
+        42,
+        &TransportKind::Channel(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    let (out_rx, m_rx) = dkg_session(
+        &cfg,
+        &behaviors,
+        42,
+        &TransportKind::TcpReactor(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    assert!(
+        m_chan.same_traffic(&m_rx),
+        "reactor frames must meter byte-identically: {:?} vs {:?}",
+        m_chan,
+        m_rx
+    );
+    let ref_chan = agreed_output(&out_chan);
+    let ref_rx = agreed_output(&out_rx);
+    assert_eq!(ref_chan.qualified, ref_rx.qualified);
+    assert_eq!(ref_chan.combined_commitments, ref_rx.combined_commitments);
+    assert_eq!(ref_chan.share, ref_rx.share);
+}
+
+#[test]
+fn reactor_tampered_frames_disqualify_all_kinds() {
+    // All four tamper kinds against dealer 2's round-0 frames, applied
+    // at the reactor's socket boundary: the strict decode fires on every
+    // receiver and the dealer is globally disqualified — identically to
+    // the channel transport, because tampering is rule-driven.
+    let params = ThresholdParams::new(1, 4).unwrap();
+    let cfg = standard_config(params, 2, b"reactor-tamper", false);
+    for kind in [
+        Tamper::TruncateTail,
+        Tamper::AppendByte,
+        Tamper::FlipPayloadBit,
+        Tamper::BadVersion,
+    ] {
+        let policy = DeliveryPolicy {
+            tamper: vec![TamperRule {
+                round: 0,
+                from: 2,
+                kind,
+            }],
+            ..DeliveryPolicy::default()
+        };
+        let (out_rx, m_rx) = dkg_session(
+            &cfg,
+            &BTreeMap::new(),
+            11,
+            &TransportKind::TcpReactor(policy.clone()),
+        )
+        .unwrap();
+        let (out_chan, m_chan) =
+            dkg_session(&cfg, &BTreeMap::new(), 11, &TransportKind::Channel(policy)).unwrap();
+        let reference = agreed_output(&out_rx);
+        assert!(
+            !reference.qualified.contains(&2),
+            "{:?}: malformed reactor frames must disqualify",
+            kind
+        );
+        assert_eq!(reference.qualified.len(), 3);
+        assert_eq!(reference.qualified, agreed_output(&out_chan).qualified);
+        assert!(m_chan.same_traffic(&m_rx));
+    }
+}
+
+#[test]
+fn reactor_completes_under_drop_and_reorder() {
+    // 15% private-frame loss plus duplication and reordering through the
+    // poll loop: the complaint machinery absorbs the loss exactly as it
+    // does in-process, and the shared policy streams make the injected
+    // schedule — and therefore the metered traffic — identical.
+    let params = ThresholdParams::new(2, 7).unwrap();
+    let cfg = standard_config(params, 2, b"reactor-lossy", false);
+    let policy = DeliveryPolicy {
+        duplicate_rate: 0.05,
+        ..DeliveryPolicy::lossy(1, 0.15)
+    };
+    let (out_chan, m_chan) = dkg_session(
+        &cfg,
+        &BTreeMap::new(),
+        13,
+        &TransportKind::Channel(policy.clone()),
+    )
+    .unwrap();
+    let (out_rx, m_rx) = dkg_session(
+        &cfg,
+        &BTreeMap::new(),
+        13,
+        &TransportKind::TcpReactor(policy),
+    )
+    .unwrap();
+    assert!(
+        m_chan.same_traffic(&m_rx),
+        "identical fault schedules must meter identically: {:?} vs {:?}",
+        m_chan,
+        m_rx
+    );
+    let ref_chan = agreed_output(&out_chan);
+    let ref_rx = agreed_output(&out_rx);
+    assert_eq!(ref_chan.qualified, ref_rx.qualified);
+    assert_eq!(ref_chan.share, ref_rx.share);
+    assert!(
+        out_rx.values().all(|o| o.is_ok()),
+        "loss must not wedge the reactor mesh"
+    );
+    assert!(
+        ref_rx.qualified.len() >= params.n - params.t,
+        "loss alone must not disqualify more than t dealers"
+    );
+}
+
+#[test]
+fn reactor_peer_going_silent_mid_run_reads_as_complaints() {
+    // Player 3 crashes after dealing; player 2 misdeals and refuses to
+    // answer. Over the reactor the crashed peer's socket simply stops
+    // producing frames — the poll loop observes the quiet (and later the
+    // hangup) as round silence, the complaint round absorbs it, and the
+    // outcome plus metered traffic match lockstep exactly.
+    let params = ThresholdParams::new(1, 5).unwrap();
+    let cfg = standard_config(params, 2, b"reactor-crash", false);
+    let mut behaviors = BTreeMap::new();
+    behaviors.insert(
+        2u32,
+        Behavior {
+            corrupt_shares_to: [4u32].into_iter().collect(),
+            refuse_answers: true,
+            ..Default::default()
+        },
+    );
+    behaviors.insert(
+        3u32,
+        Behavior {
+            crash_at_round: Some(1),
+            ..Default::default()
+        },
+    );
+    let (out_lock, m_lock) = dkg_session(&cfg, &behaviors, 7, &TransportKind::Lockstep).unwrap();
+    let (out_rx, m_rx) = dkg_session(
+        &cfg,
+        &behaviors,
+        7,
+        &TransportKind::TcpReactor(DeliveryPolicy::reliable()),
+    )
+    .unwrap();
+    assert!(m_lock.same_traffic(&m_rx));
+    let q = &agreed_output(&out_rx).qualified;
+    assert_eq!(q, &agreed_output(&out_lock).qualified);
+    assert!(
+        !q.contains(&2),
+        "refusing dealer is out over the reactor too"
+    );
+}
+
+#[test]
 fn frame_sizes_match_wire_size_exactly() {
     // The E5 byte metric is derived from real frames; `wire_size` is the
     // blanket projection of the same codec. A run's total bytes must be

@@ -24,9 +24,15 @@
 //!   [`DeliveryPolicy`] (per-link drop, duplication, reordering,
 //!   partitions, crash-restart outages, frame tampering);
 //! * [`TcpTransport`] — one player per engine over real
-//!   `std::net::TcpStream` sockets, so a run can span OS processes and
-//!   machines; [`TransportKind::TcpLoopback`] runs a whole player set as
-//!   an in-process mesh on `127.0.0.1` for tests.
+//!   `std::net::TcpStream` sockets (one reader thread per peer), so a
+//!   run can span OS processes and machines;
+//!   [`TransportKind::TcpLoopback`] runs a whole player set as an
+//!   in-process mesh on `127.0.0.1` for tests;
+//! * [`ReactorTransport`] — the same real-socket mesh driven by **one
+//!   event loop and zero extra threads** per player (`poll(2)` on
+//!   Linux, adaptive readiness scan elsewhere), which is what scales to
+//!   n=512+ meshes; [`TransportKind::TcpReactor`] is its in-process
+//!   loopback driver.
 //!
 //! The in-process transports share one router, and the TCP transport
 //! meters identically (sender-side, real frame lengths, before fault
@@ -42,7 +48,10 @@ mod channel;
 mod error;
 pub mod frame;
 mod lockstep;
+pub mod mesh;
 mod policy;
+pub mod reactor;
+mod ready;
 mod router;
 pub mod tcp;
 
@@ -52,6 +61,7 @@ pub use error::{Error, TcpError};
 pub use frame::{decode_frame, encode_frame, WIRE_VERSION};
 pub use lockstep::LockstepTransport;
 pub use policy::{DeliveryPolicy, Outage, Partition, Tamper, TamperRule};
+pub use reactor::{ensure_fd_capacity, run_tcp_reactor_loopback_with, ReactorTransport};
 pub use tcp::{dial_with_backoff, TcpOptions, TcpTransport, MAX_ENVELOPE_BYTES};
 
 use std::collections::BTreeMap;
@@ -371,6 +381,59 @@ impl Wire for LatencySummary {
     }
 }
 
+/// Socket-layer counters of one real-socket transport run — the
+/// operational view ([`Metrics`] is the *protocol* view and stays
+/// byte-identical across transports; these counters describe how the
+/// bytes moved and legitimately differ between the threaded and reactor
+/// transports).
+///
+/// Crosses the service's client framing (the daemon `Summary` reports
+/// its signing-mesh counters), so it carries a canonical encoding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Most peer connections simultaneously open.
+    pub connections_high_water: u64,
+    /// Envelopes received (payload and control).
+    pub frames_in: u64,
+    /// Envelopes sent or queued for sending (payload and control).
+    pub frames_out: u64,
+    /// Times an inbound read resumed a partially buffered frame —
+    /// nonzero means the reactor's incremental framing actually crossed
+    /// packet boundaries (always `0` for the blocking transport, whose
+    /// `read_exact` hides partial reads in the kernel).
+    pub partial_read_resumptions: u64,
+}
+
+impl TransportStats {
+    /// Folds another node's counters into this one: a deployment-wide
+    /// aggregate over distinct processes (so even `connections_high_water`
+    /// sums — each process's peak is independent).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.connections_high_water += other.connections_high_water;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.partial_read_resumptions += other.partial_read_resumptions;
+    }
+}
+
+impl Wire for TransportStats {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.connections_high_water.encode_to(out);
+        self.frames_in.encode_to(out);
+        self.frames_out.encode_to(out);
+        self.partial_read_resumptions.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(TransportStats {
+            connections_high_water: u64::decode(input)?,
+            frames_in: u64::decode(input)?,
+            frames_out: u64::decode(input)?,
+            partial_read_resumptions: u64::decode(input)?,
+        })
+    }
+}
+
 /// Errors from a transport run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -419,6 +482,11 @@ pub enum TransportKind {
     /// player) with the given fault policy — every driver and
     /// fault-injection test runs unchanged over the real socket path.
     TcpLoopback(DeliveryPolicy),
+    /// An in-process mesh of [`ReactorTransport`]s over real loopback
+    /// sockets with the given fault policy: the same wire format and
+    /// byte-identical [`Metrics`] as [`Self::TcpLoopback`], but each
+    /// player is one event loop on one thread instead of ~n threads.
+    TcpReactor(DeliveryPolicy),
 }
 
 /// Runs a set of players over the selected transport to completion.
@@ -445,6 +513,9 @@ pub fn run_protocol<M: Wire + Clone, O: Send>(
         }
         TransportKind::TcpLoopback(policy) => {
             tcp::run_tcp_loopback(players, policy.clone(), max_rounds)
+        }
+        TransportKind::TcpReactor(policy) => {
+            reactor::run_tcp_reactor_loopback(players, policy.clone(), max_rounds)
         }
     }
 }
@@ -578,6 +649,20 @@ mod tests {
             "lockstep {:?} vs tcp {:?}",
             metrics,
             metrics3
+        );
+        // The event-driven reactor mesh is held to the same parity bar.
+        let (out4, metrics4) = run_protocol(
+            &TransportKind::TcpReactor(DeliveryPolicy::reliable()),
+            summers(3),
+            10,
+        )
+        .unwrap();
+        assert_eq!(out, out4);
+        assert!(
+            metrics.same_traffic(&metrics4),
+            "lockstep {:?} vs reactor {:?}",
+            metrics,
+            metrics4
         );
     }
 

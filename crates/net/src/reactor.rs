@@ -1,0 +1,940 @@
+//! The event-driven TCP transport: **one poll loop, zero extra
+//! threads** per player.
+//!
+//! [`crate::tcp::TcpTransport`] spends one reader thread per peer plus
+//! an acceptor — O(n) threads per process, O(n²) across an in-process
+//! mesh, which is what capped the real-socket experiments near n=128.
+//! [`ReactorTransport`] runs the same protocol, byte-for-byte, on the
+//! caller's thread alone: every peer socket is nonblocking and owned by
+//! a reactor that waits for readiness ([`crate::ready`] — `poll(2)` on
+//! Linux, an adaptive backoff scan elsewhere), reads length-prefixed
+//! envelopes through per-peer incremental buffers
+//! ([`crate::mesh::FrameReader`], a partial-read state machine replacing
+//! the blocking `read_exact` pair), and drains per-peer write queues
+//! with partial-write tracking ([`crate::mesh::WriteQueue`]) so a large
+//! simultaneous fan-out can never deadlock on full kernel buffers: an
+//! unwritable socket just keeps its bytes queued in user space until
+//! the receiver catches up.
+//!
+//! Mesh formation is the same higher-id-dials-lower-id scheme as the
+//! threaded transport, but fully interleaved in one loop: the reactor
+//! keeps accepting and handshaking inbound peers *while* its own dials
+//! and `HelloAck` waits are in flight. Because a player only ever waits
+//! on strictly lower ids (and acks depend on nothing), the wait graph
+//! is acyclic and single-threaded formation cannot deadlock.
+//!
+//! Determinism: all routing, metering, fault injection and barrier
+//! logic is the shared [`crate::mesh`] round engine — the reactor moves
+//! bytes, it never decides which frames exist. A run's merged
+//! [`Metrics`] are therefore byte-identical to the same protocol over
+//! [`crate::ChannelTransport`] or the threaded TCP transport, lossy
+//! runs included.
+
+use crate::error::{Error, TcpError};
+use crate::mesh::{
+    frame_envelope, route_outgoing, Envelope, Flush, FrameReader, RoundState, WriteQueue,
+};
+use crate::policy::DeliveryPolicy;
+use crate::ready::{fd_of, Readiness, Want};
+use crate::tcp::TcpOptions;
+use crate::{BoxedPlayer, Metrics, PlayerId, RoundAction, SimError, TransportStats};
+use borndist_pairing::codec::Wire;
+use borndist_parallel::{with_parallelism, Parallelism};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Raises the process file-descriptor limit to at least `needed`
+/// descriptors (soft limit, capped by the hard limit). Returns whether
+/// `needed` descriptors are available — large in-process meshes
+/// (n=512 ⇒ ~n² sockets) call this before binding and skip with a
+/// logged reason when the host cannot provide them.
+#[cfg(target_os = "linux")]
+pub fn ensure_fd_capacity(needed: u64) -> bool {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return false;
+        }
+        if lim.cur >= needed {
+            return true;
+        }
+        if lim.max >= needed {
+            let raised = RLimit {
+                cur: needed,
+                max: lim.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &raised) == 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Non-Linux fallback: no portable rlimit binding, so report capacity
+/// optimistically and let socket creation surface any real limit.
+#[cfg(not(target_os = "linux"))]
+pub fn ensure_fd_capacity(_needed: u64) -> bool {
+    true
+}
+
+/// One peer socket owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    wq: WriteQueue,
+    /// Envelopes that arrived during the handshake, hard on the heels
+    /// of the peer's `HelloAck` (a fast peer may enter round 0 while
+    /// our connect is still in flight). Drained into the round engine
+    /// before the first barrier — dropping them would lose real
+    /// protocol frames.
+    backlog: Vec<Envelope>,
+    /// Set on EOF, socket error or framing violation; a dead conn is
+    /// never polled again and its peer is `gone` to the round engine.
+    dead: bool,
+}
+
+impl Conn {
+    /// Adopts a post-handshake socket, keeping the handshake reader
+    /// (it may hold a partially received frame) and any envelopes
+    /// pulled past the handshake word.
+    fn new(stream: TcpStream, reader: FrameReader, backlog: Vec<Envelope>) -> Self {
+        Conn {
+            stream,
+            reader,
+            wq: WriteQueue::new(),
+            backlog,
+            dead: false,
+        }
+    }
+}
+
+/// Writes `buf` to a nonblocking stream, waiting for writability
+/// between partial writes — only used for the two tiny handshake words,
+/// where queueing would complicate the state machine for no benefit.
+fn write_all_nb(
+    stream: &mut TcpStream,
+    buf: &[u8],
+    readiness: &mut Readiness,
+    deadline: Instant,
+) -> std::io::Result<()> {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.write(&buf[off..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                if budget.is_zero() {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                let mut wants = [Want::writable(fd_of(stream))];
+                readiness.wait(&mut wants, budget.min(Duration::from_millis(50)))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// An inbound connection whose `Hello` has not completed yet.
+struct PendingInbound {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// Where the outbound dial plan stands (one peer at a time, ascending —
+/// each completed ack proves the lower peer is accepting, so the plan
+/// never waits on anything a later step could unblock).
+enum DialPhase {
+    /// Pick the next peer off the plan.
+    Next,
+    /// Between connect attempts to `peer` (backoff running).
+    Retry {
+        peer: PlayerId,
+        addr: SocketAddr,
+        attempts_left: u32,
+        backoff: Duration,
+        retry_at: Instant,
+    },
+    /// `Hello` sent; waiting for the peer's `HelloAck`.
+    Ack {
+        peer: PlayerId,
+        stream: TcpStream,
+        reader: FrameReader,
+        deadline: Instant,
+    },
+    /// Every outbound peer is connected and acked.
+    Done,
+}
+
+/// Drives **one** player of a protocol over a TCP mesh with a single
+/// event loop on the caller's thread — no per-peer threads, no
+/// acceptor thread. See the module docs for the full design.
+pub struct ReactorTransport<M, O> {
+    player: BoxedPlayer<M, O>,
+    id: PlayerId,
+    conns: BTreeMap<PlayerId, Conn>,
+    options: TcpOptions,
+    readiness: Readiness,
+    stats: TransportStats,
+}
+
+impl<M: Wire, O> ReactorTransport<M, O> {
+    /// Binds `listen` and joins the mesh described by `peers`
+    /// (id → address of every *other* player).
+    ///
+    /// # Errors
+    ///
+    /// Bind/dial/handshake failures as [`TcpError`] variants.
+    pub fn connect(
+        player: BoxedPlayer<M, O>,
+        listen: SocketAddr,
+        peers: BTreeMap<PlayerId, SocketAddr>,
+        options: TcpOptions,
+    ) -> Result<Self, Error> {
+        let listener = TcpListener::bind(listen)?;
+        Self::connect_with_listener(player, listener, peers, options)
+    }
+
+    /// [`Self::connect`] with a pre-bound listener (lets a caller bind
+    /// port 0 first and publish the real address).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::connect`].
+    pub fn connect_with_listener(
+        player: BoxedPlayer<M, O>,
+        listener: TcpListener,
+        peers: BTreeMap<PlayerId, SocketAddr>,
+        options: TcpOptions,
+    ) -> Result<Self, Error> {
+        let id = player.id();
+        if peers.contains_key(&id) {
+            return Err(SimError::DuplicatePlayer(id).into());
+        }
+        let expected: BTreeSet<PlayerId> = peers.keys().copied().filter(|p| *p > id).collect();
+        let mut dial_plan: Vec<(PlayerId, SocketAddr)> = peers
+            .iter()
+            .filter(|(p, _)| **p < id)
+            .map(|(p, a)| (*p, *a))
+            .collect();
+        dial_plan.sort_by_key(|(p, _)| *p);
+        let mut dial_iter = dial_plan.into_iter();
+
+        listener.set_nonblocking(true)?;
+        let mut readiness = Readiness::new();
+        let mut conns: BTreeMap<PlayerId, Conn> = BTreeMap::new();
+        let mut inbound: Vec<PendingInbound> = Vec::new();
+        let accept_deadline = Instant::now() + options.accept_timeout;
+        let dial_deadline = Instant::now() + options.dial_timeout;
+        let mut phase = DialPhase::Next;
+
+        loop {
+            let inbound_done = conns.keys().filter(|p| **p > id).count() == expected.len();
+            if inbound_done && matches!(phase, DialPhase::Done) {
+                break;
+            }
+            if !inbound_done && Instant::now() >= accept_deadline {
+                let missing: Vec<PlayerId> = expected
+                    .iter()
+                    .filter(|p| !conns.contains_key(p))
+                    .copied()
+                    .collect();
+                return Err(TcpError::AcceptTimeout { missing }.into());
+            }
+            let mut progressed = false;
+
+            // 1. Drain the accept queue (keeping the backlog clear even
+            //    while our own dials are mid-flight).
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true)?;
+                        stream.set_nodelay(true)?;
+                        inbound.push(PendingInbound {
+                            stream,
+                            reader: FrameReader::new(),
+                        });
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(TcpError::Io(e).into()),
+                }
+            }
+
+            // 2. Progress inbound handshakes. Stray, misaddressed,
+            //    duplicate or malformed hellos drop the connection
+            //    without killing the mesh — same policy as the threaded
+            //    acceptor.
+            let mut i = 0;
+            while i < inbound.len() {
+                let pend = &mut inbound[i];
+                let pull = pend.reader.pull(&mut pend.stream);
+                let mut drop_it = pull.closed;
+                let mut envs = pull.envelopes.into_iter();
+                if let Some(env) = envs.next() {
+                    if let Envelope::Hello { from, to } = env {
+                        if to == id && expected.contains(&from) && !conns.contains_key(&from) {
+                            let mut done = inbound.swap_remove(i);
+                            let ack = frame_envelope(&Envelope::HelloAck { from: id });
+                            if write_all_nb(&mut done.stream, &ack, &mut readiness, accept_deadline)
+                                .is_ok()
+                            {
+                                conns.insert(
+                                    from,
+                                    Conn::new(done.stream, done.reader, envs.collect()),
+                                );
+                            }
+                            progressed = true;
+                            continue;
+                        }
+                    }
+                    drop_it = true;
+                }
+                if drop_it {
+                    inbound.swap_remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 3. Advance the dial plan one step.
+            phase = match phase {
+                DialPhase::Next => match dial_iter.next() {
+                    None => DialPhase::Done,
+                    Some((peer, addr)) => DialPhase::Retry {
+                        peer,
+                        addr,
+                        attempts_left: options.dial_attempts.max(1),
+                        backoff: options.dial_backoff,
+                        retry_at: Instant::now(),
+                    },
+                },
+                DialPhase::Retry {
+                    peer,
+                    addr,
+                    attempts_left,
+                    backoff,
+                    retry_at,
+                } => {
+                    if Instant::now() >= dial_deadline {
+                        return Err(TcpError::DialFailed {
+                            peer,
+                            addr,
+                            attempts: options.dial_attempts.max(1) - attempts_left,
+                            last: std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "dial deadline elapsed",
+                            ),
+                        }
+                        .into());
+                    }
+                    if Instant::now() < retry_at {
+                        DialPhase::Retry {
+                            peer,
+                            addr,
+                            attempts_left,
+                            backoff,
+                            retry_at,
+                        }
+                    } else {
+                        match TcpStream::connect(addr) {
+                            Ok(mut stream) => {
+                                stream.set_nonblocking(true)?;
+                                stream.set_nodelay(true)?;
+                                let hello = frame_envelope(&Envelope::Hello { from: id, to: peer });
+                                write_all_nb(&mut stream, &hello, &mut readiness, dial_deadline)
+                                    .map_err(|e| TcpError::Handshake {
+                                        peer,
+                                        reason: format!("hello write failed: {}", e),
+                                    })?;
+                                progressed = true;
+                                DialPhase::Ack {
+                                    peer,
+                                    stream,
+                                    reader: FrameReader::new(),
+                                    deadline: Instant::now() + options.accept_timeout,
+                                }
+                            }
+                            Err(e) => {
+                                if attempts_left <= 1 {
+                                    return Err(TcpError::DialFailed {
+                                        peer,
+                                        addr,
+                                        attempts: options.dial_attempts.max(1),
+                                        last: e,
+                                    }
+                                    .into());
+                                }
+                                DialPhase::Retry {
+                                    peer,
+                                    addr,
+                                    attempts_left: attempts_left - 1,
+                                    backoff: (backoff * 2).min(options.dial_backoff_max),
+                                    retry_at: Instant::now() + backoff,
+                                }
+                            }
+                        }
+                    }
+                }
+                DialPhase::Ack {
+                    peer,
+                    mut stream,
+                    mut reader,
+                    deadline,
+                } => {
+                    let pull = reader.pull(&mut stream);
+                    let mut envs = pull.envelopes.into_iter();
+                    if let Some(env) = envs.next() {
+                        match env {
+                            Envelope::HelloAck { from } if from == peer => {
+                                // A fast peer may already be in round 0:
+                                // whatever followed its ack (complete
+                                // envelopes and partial bytes alike)
+                                // must survive into the run.
+                                conns.insert(peer, Conn::new(stream, reader, envs.collect()));
+                                progressed = true;
+                                DialPhase::Next
+                            }
+                            other => {
+                                return Err(TcpError::Handshake {
+                                    peer,
+                                    reason: format!(
+                                        "expected HelloAck from {}, got {:?}",
+                                        peer, other
+                                    ),
+                                }
+                                .into())
+                            }
+                        }
+                    } else if pull.closed {
+                        return Err(TcpError::Handshake {
+                            peer,
+                            reason: "connection closed during handshake".into(),
+                        }
+                        .into());
+                    } else if Instant::now() >= deadline {
+                        return Err(TcpError::Handshake {
+                            peer,
+                            reason: "HelloAck never arrived".into(),
+                        }
+                        .into());
+                    } else {
+                        DialPhase::Ack {
+                            peer,
+                            stream,
+                            reader,
+                            deadline,
+                        }
+                    }
+                }
+                DialPhase::Done => DialPhase::Done,
+            };
+
+            if progressed {
+                readiness.note_progress();
+                continue;
+            }
+
+            // 4. Nothing moved: block until a socket has something for
+            //    us (or a backoff/deadline step is due).
+            let mut wants = vec![Want::readable(fd_of(&listener))];
+            for pend in &inbound {
+                wants.push(Want::readable(fd_of(&pend.stream)));
+            }
+            let mut budget = Duration::from_millis(50);
+            match &phase {
+                DialPhase::Retry { retry_at, .. } => {
+                    budget = budget.min(retry_at.saturating_duration_since(Instant::now()));
+                }
+                DialPhase::Ack { stream, .. } => {
+                    wants.push(Want::readable(fd_of(stream)));
+                }
+                _ => {}
+            }
+            if !budget.is_zero() {
+                readiness.wait(&mut wants, budget)?;
+            }
+        }
+
+        let stats = TransportStats {
+            connections_high_water: conns.len() as u64,
+            ..TransportStats::default()
+        };
+        Ok(ReactorTransport {
+            player,
+            id,
+            conns,
+            options,
+            readiness,
+            stats,
+        })
+    }
+
+    /// Runs this player to completion, returning its output and the
+    /// **local** metrics (this player's sends only — merge across the
+    /// mesh with [`Metrics::merge`] for the global view).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if the player is still running
+    /// after `max_rounds`; [`SimError::UnknownRecipient`] on a
+    /// misaddressed frame; socket failures during the run are treated as
+    /// peer crashes, not errors.
+    pub fn run(self, max_rounds: usize) -> Result<(O, Metrics), Error> {
+        let (out, metrics, _) = self.run_with_stats(max_rounds)?;
+        Ok((out, metrics))
+    }
+
+    /// [`Self::run`], additionally returning the socket-layer
+    /// [`TransportStats`] (connection high-water, frames in/out,
+    /// partial-read resumptions).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_with_stats(
+        mut self,
+        max_rounds: usize,
+    ) -> Result<(O, Metrics, TransportStats), Error> {
+        let result = self.drive(max_rounds);
+        // Close everything whatever happened, so peers observe EOF
+        // instead of waiting out their round timeout on a wedged mesh.
+        for conn in self.conns.values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.stats.partial_read_resumptions = self
+            .conns
+            .values()
+            .map(|c| c.reader.resumptions())
+            .sum::<u64>();
+        let stats = self.stats;
+        result.map(|(out, metrics)| (out, metrics, stats))
+    }
+
+    /// The round engine (the whole transport runs on this one thread).
+    fn drive(&mut self, max_rounds: usize) -> Result<(O, Metrics), Error> {
+        let policy = self.options.policy.clone();
+        let mut metrics = Metrics::default();
+        let mut send_rng = policy.sender_rng(self.id);
+        let mut state = RoundState::new(self.conns.keys().copied());
+        // Frames that raced the handshake park exactly as if they had
+        // arrived during round 0's barrier.
+        for (pid, conn) in self.conns.iter_mut() {
+            for env in std::mem::take(&mut conn.backlog) {
+                self.stats.frames_in += 1;
+                state.note_envelope(*pid, env, 0);
+            }
+        }
+        let run_start = Instant::now();
+
+        for round in 0..max_rounds {
+            let round_start = Instant::now();
+            let r32 = round as u32;
+
+            let inbox = state.take_inbox::<M>(round, self.id, &policy);
+
+            // Advance the state machine, pinned sequential like the
+            // channel transport's workers so nested parallel primitives
+            // never oversubscribe the machine.
+            let action =
+                with_parallelism(Parallelism::Sequential, || self.player.round(round, &inbox));
+
+            match action {
+                RoundAction::Finish(out) => {
+                    metrics.per_round.push((0, 0));
+                    metrics.per_round_elapsed.push(round_start.elapsed());
+                    metrics.total_rounds += 1;
+                    metrics.elapsed = run_start.elapsed();
+                    self.queue_control(&Envelope::Finished { round: r32 }, &state);
+                    self.flush_outgoing(Instant::now() + self.options.round_timeout);
+                    return Ok((out, metrics));
+                }
+                RoundAction::Continue(outgoing) => {
+                    let me = self.id;
+                    let conns = &mut self.conns;
+                    let stats = &mut self.stats;
+                    route_outgoing(
+                        me,
+                        round,
+                        outgoing,
+                        &policy,
+                        &mut send_rng,
+                        &mut state,
+                        &mut metrics,
+                        &mut |pid, env| match conns.get_mut(&pid) {
+                            Some(conn) if !conn.dead => {
+                                conn.wq.push(env);
+                                stats.frames_out += 1;
+                                true
+                            }
+                            Some(_) => false,
+                            None => true,
+                        },
+                    )?;
+                    self.queue_control(&Envelope::EndRound { round: r32 }, &state);
+                }
+            }
+
+            // Barrier: pump the reactor until every live peer has closed
+            // this round (EndRound), terminated (Finished), or died
+            // (socket EOF or round timeout). Queued writes drain inside
+            // the same pump.
+            let deadline = Instant::now() + self.options.round_timeout;
+            loop {
+                let waiting = state.waiting_on(r32);
+                if waiting.is_empty() {
+                    break;
+                }
+                let budget = deadline.saturating_duration_since(Instant::now());
+                if budget.is_zero() {
+                    // Silent peers past the deadline are crashed as far
+                    // as this round is concerned; the complaint/timeout
+                    // machinery upstairs deals with their absence.
+                    state.gone.extend(waiting);
+                    break;
+                }
+                self.pump(&mut state, r32, budget)?;
+            }
+
+            metrics.per_round_elapsed.push(round_start.elapsed());
+            metrics.total_rounds += 1;
+            metrics.elapsed = run_start.elapsed();
+        }
+
+        Err(SimError::RoundLimitExceeded {
+            limit: max_rounds,
+            unfinished: vec![self.id],
+        }
+        .into())
+    }
+
+    /// One reactor turn: wait (≤ `budget`) for readiness across every
+    /// live socket, then pull frames and drain write queues wherever
+    /// progress is possible.
+    fn pump(&mut self, state: &mut RoundState, r32: u32, budget: Duration) -> Result<(), Error> {
+        let mut wants = Vec::with_capacity(self.conns.len());
+        let mut ids = Vec::with_capacity(self.conns.len());
+        for (pid, conn) in self.conns.iter() {
+            if conn.dead {
+                continue;
+            }
+            // Read interest always (EOF must be observable); write
+            // interest only while bytes are queued.
+            wants.push(Want::duplex(fd_of(&conn.stream), !conn.wq.is_empty()));
+            ids.push(*pid);
+        }
+        if wants.is_empty() {
+            // Every socket is dead; the barrier's timeout logic decides.
+            std::thread::sleep(budget.min(Duration::from_millis(10)));
+            return Ok(());
+        }
+        self.readiness.wait(&mut wants, budget)?;
+        let mut progressed = false;
+        for (want, pid) in wants.iter().zip(&ids) {
+            let conn = self.conns.get_mut(pid).expect("conn exists");
+            if want.ready_read {
+                let pull = conn.reader.pull(&mut conn.stream);
+                if !pull.envelopes.is_empty() {
+                    progressed = true;
+                }
+                for env in pull.envelopes {
+                    self.stats.frames_in += 1;
+                    state.note_envelope(*pid, env, r32);
+                }
+                if pull.closed {
+                    let conn = self.conns.get_mut(pid).expect("conn exists");
+                    conn.dead = true;
+                    state.gone.insert(*pid);
+                    progressed = true;
+                }
+            }
+            let conn = self.conns.get_mut(pid).expect("conn exists");
+            if want.ready_write && !conn.dead && !conn.wq.is_empty() {
+                match conn.wq.flush(&mut conn.stream) {
+                    Flush::Closed => {
+                        conn.dead = true;
+                        state.gone.insert(*pid);
+                    }
+                    Flush::Drained => progressed = true,
+                    Flush::Blocked => {}
+                }
+            }
+        }
+        if progressed {
+            self.readiness.note_progress();
+        }
+        Ok(())
+    }
+
+    /// Queues a control envelope to every live peer.
+    fn queue_control(&mut self, env: &Envelope, state: &RoundState) {
+        for pid in state.live_peers() {
+            if let Some(conn) = self.conns.get_mut(&pid) {
+                if !conn.dead {
+                    conn.wq.push(env);
+                    self.stats.frames_out += 1;
+                }
+            }
+        }
+    }
+
+    /// Best-effort drain of every write queue before shutdown (the
+    /// `Finished` word must reach peers or they wait out a timeout).
+    fn flush_outgoing(&mut self, deadline: Instant) {
+        loop {
+            let mut wants = Vec::new();
+            let mut ids = Vec::new();
+            for (pid, conn) in self.conns.iter() {
+                if !conn.dead && !conn.wq.is_empty() {
+                    wants.push(Want::writable(fd_of(&conn.stream)));
+                    ids.push(*pid);
+                }
+            }
+            if wants.is_empty() {
+                return;
+            }
+            let budget = deadline.saturating_duration_since(Instant::now());
+            if budget.is_zero() {
+                return;
+            }
+            if self.readiness.wait(&mut wants, budget).unwrap_or(0) == 0 {
+                continue;
+            }
+            for (want, pid) in wants.iter().zip(&ids) {
+                if want.ready_write {
+                    let conn = self.conns.get_mut(pid).expect("conn exists");
+                    if conn.wq.flush(&mut conn.stream) == Flush::Closed {
+                        conn.dead = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a whole player set as an in-process reactor mesh on loopback —
+/// how `TransportKind::TcpReactor` lets every existing driver and
+/// fault-injection test run over the event-driven socket path
+/// unchanged. One thread per *player* (each player's reactor is
+/// single-threaded), versus the threaded transport's ~n threads per
+/// player.
+pub(crate) fn run_tcp_reactor_loopback<M: Wire, O: Send>(
+    players: Vec<BoxedPlayer<M, O>>,
+    policy: DeliveryPolicy,
+    max_rounds: usize,
+) -> Result<(BTreeMap<PlayerId, O>, Metrics), Error> {
+    run_tcp_reactor_loopback_with(players, TcpOptions::with_policy(policy), max_rounds)
+}
+
+/// [`run_tcp_reactor_loopback`] with explicit [`TcpOptions`] — large
+/// meshes (n=512) need raised dial/accept/round timeouts, everything
+/// else uses the defaults for parity with the threaded transport.
+///
+/// # Errors
+///
+/// The first player-level [`Error`] of the mesh, if any.
+pub fn run_tcp_reactor_loopback_with<M: Wire, O: Send>(
+    players: Vec<BoxedPlayer<M, O>>,
+    options: TcpOptions,
+    max_rounds: usize,
+) -> Result<(BTreeMap<PlayerId, O>, Metrics), Error> {
+    crate::check_unique_ids(&players)?;
+    // Bind every listener up front so the mesh addresses are known
+    // before any player dials.
+    let mut listeners: BTreeMap<PlayerId, TcpListener> = BTreeMap::new();
+    let mut addrs: BTreeMap<PlayerId, SocketAddr> = BTreeMap::new();
+    for player in &players {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.insert(player.id(), listener.local_addr()?);
+        listeners.insert(player.id(), listener);
+    }
+
+    let results: Vec<Result<(PlayerId, O, Metrics), Error>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = players
+            .into_iter()
+            .map(|player| {
+                let id = player.id();
+                let listener = listeners.remove(&id).expect("listener bound above");
+                let peers: BTreeMap<PlayerId, SocketAddr> = addrs
+                    .iter()
+                    .filter(|(p, _)| **p != id)
+                    .map(|(p, a)| (*p, *a))
+                    .collect();
+                let options = options.clone();
+                scope.spawn(move || {
+                    let transport =
+                        ReactorTransport::connect_with_listener(player, listener, peers, options)?;
+                    let (out, metrics) = transport.run(max_rounds)?;
+                    Ok((id, out, metrics))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mesh player thread panicked"))
+            .collect()
+    });
+
+    let mut outputs = BTreeMap::new();
+    let mut locals = Vec::new();
+    for result in results {
+        let (id, out, metrics) = result?;
+        outputs.insert(id, out);
+        locals.push(metrics);
+    }
+    Ok((outputs, Metrics::merge(locals.iter())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delivered, Outgoing, Protocol, Recipient};
+
+    #[test]
+    fn fd_capacity_check_accepts_modest_requests() {
+        assert!(ensure_fd_capacity(64));
+    }
+
+    /// Mirror of the threaded transport's disconnect-as-silence test:
+    /// player 1 finishes (and closes its sockets) at round 1 while
+    /// players 2 and 3 keep exchanging frames until round 3. The
+    /// survivors must read the mid-round disconnect as silence — EOF,
+    /// peer gone, barriers stop waiting — and complete normally.
+    #[test]
+    fn peer_disconnect_mid_round_reads_as_silence() {
+        struct Chatter {
+            id: PlayerId,
+            quit_after: usize,
+            from_one: usize,
+        }
+        impl Protocol for Chatter {
+            type Message = u64;
+            type Output = usize;
+            fn round(&mut self, round: usize, inbox: &[Delivered<u64>]) -> RoundAction<u64, usize> {
+                self.from_one += inbox.iter().filter(|d| d.from == 1).count();
+                if round >= self.quit_after {
+                    return RoundAction::Finish(self.from_one);
+                }
+                RoundAction::Continue(vec![Outgoing {
+                    to: Recipient::Broadcast,
+                    msg: self.id as u64 * 100 + round as u64,
+                }])
+            }
+            fn id(&self) -> PlayerId {
+                self.id
+            }
+        }
+
+        let players: Vec<BoxedPlayer<u64, usize>> = vec![
+            Box::new(Chatter {
+                id: 1,
+                quit_after: 1,
+                from_one: 0,
+            }),
+            Box::new(Chatter {
+                id: 2,
+                quit_after: 3,
+                from_one: 0,
+            }),
+            Box::new(Chatter {
+                id: 3,
+                quit_after: 3,
+                from_one: 0,
+            }),
+        ];
+        let (outputs, _) = run_tcp_reactor_loopback(players, DeliveryPolicy::reliable(), 10)
+            .expect("mesh completes");
+        assert_eq!(outputs.len(), 3, "survivors and quitter all finish");
+        // Player 1 broadcast in round 0 only; each survivor therefore
+        // saw exactly one frame from it and silence after the
+        // disconnect.
+        assert_eq!(outputs[&2], 1);
+        assert_eq!(outputs[&3], 1);
+    }
+
+    /// A two-player mesh driven through the public per-process API:
+    /// both sides report live transport counters.
+    #[test]
+    fn two_player_mesh_reports_stats() {
+        struct Echo {
+            id: PlayerId,
+            heard: u64,
+        }
+        impl Protocol for Echo {
+            type Message = u64;
+            type Output = u64;
+            fn round(&mut self, round: usize, inbox: &[Delivered<u64>]) -> RoundAction<u64, u64> {
+                self.heard += inbox
+                    .iter()
+                    .filter_map(|d| d.msg.as_ref().ok())
+                    .sum::<u64>();
+                if round >= 2 {
+                    return RoundAction::Finish(self.heard);
+                }
+                RoundAction::Continue(vec![Outgoing {
+                    to: Recipient::Broadcast,
+                    msg: self.id as u64,
+                }])
+            }
+            fn id(&self) -> PlayerId {
+                self.id
+            }
+        }
+
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l2 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a1 = l1.local_addr().unwrap();
+        let a2 = l2.local_addr().unwrap();
+        let (r1, r2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                let t = ReactorTransport::connect_with_listener(
+                    Box::new(Echo { id: 1, heard: 0 }) as BoxedPlayer<u64, u64>,
+                    l1,
+                    BTreeMap::from([(2, a2)]),
+                    TcpOptions::default(),
+                )
+                .expect("player 1 connects");
+                t.run_with_stats(10).expect("player 1 runs")
+            });
+            let h2 = scope.spawn(move || {
+                let t = ReactorTransport::connect_with_listener(
+                    Box::new(Echo { id: 2, heard: 0 }) as BoxedPlayer<u64, u64>,
+                    l2,
+                    BTreeMap::from([(1, a1)]),
+                    TcpOptions::default(),
+                )
+                .expect("player 2 connects");
+                t.run_with_stats(10).expect("player 2 runs")
+            });
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        let (out1, _, stats1) = r1;
+        let (out2, _, stats2) = r2;
+        // Broadcast loops back to the sender: each player hears both
+        // broadcasts (1 + 2 = 3) in rounds 1 and 2.
+        assert_eq!(out1, 6, "player 1 heard both players in both rounds");
+        assert_eq!(out2, 6, "player 2 heard both players in both rounds");
+        for stats in [&stats1, &stats2] {
+            assert_eq!(stats.connections_high_water, 1);
+            assert!(stats.frames_in > 0, "payload + control frames arrived");
+            assert!(stats.frames_out > 0, "payload + control frames left");
+        }
+    }
+}

@@ -45,22 +45,18 @@
 //! enforces, lossy runs included.
 
 use crate::error::{Error, TcpError};
-use crate::frame::{decode_frame, encode_frame};
+use crate::mesh::{read_envelope, route_outgoing, write_envelope, RoundState};
 use crate::policy::DeliveryPolicy;
-use crate::{BoxedPlayer, Delivered, Metrics, PlayerId, Recipient, RoundAction, SimError};
-use borndist_pairing::codec::{CodecError, Wire};
+use crate::ready::{fd_of, Readiness, Want};
+use crate::{BoxedPlayer, Metrics, PlayerId, RoundAction, SimError, TransportStats};
+use borndist_pairing::codec::Wire;
 use borndist_parallel::{with_parallelism, Parallelism};
-use rand::RngCore;
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-/// Hard cap on a length-prefixed envelope — the pre-allocation guard
-/// against adversarial length prefixes (mirrors the `Vec<T>` decoder's
-/// `BadLength` check one layer down).
-pub const MAX_ENVELOPE_BYTES: usize = 64 * 1024 * 1024;
+pub use crate::mesh::{Envelope, MAX_ENVELOPE_BYTES};
 
 /// Tuning knobs of a TCP mesh.
 #[derive(Clone, Debug)]
@@ -106,140 +102,6 @@ impl TcpOptions {
             ..Self::default()
         }
     }
-}
-
-/// What actually crosses a socket: a length-prefixed, strictly decoded
-/// control-or-payload record. Protocol frames travel opaque inside
-/// [`Envelope::Payload`] — the transport never interprets them, each
-/// recipient decodes independently (decode-validate-then-process).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Envelope {
-    /// Dialer's first word: who is calling, and whom it thinks it
-    /// reached.
-    Hello {
-        /// The dialing player.
-        from: PlayerId,
-        /// The id the dialer expects on this end.
-        to: PlayerId,
-    },
-    /// Acceptor's reply, confirming its identity.
-    HelloAck {
-        /// The accepting player.
-        from: PlayerId,
-    },
-    /// One protocol frame sent in `round`.
-    Payload {
-        /// The sender's round number.
-        round: u32,
-        /// `true` for the broadcast channel, `false` for private.
-        broadcast: bool,
-        /// The versioned protocol frame ([`crate::frame`]).
-        frame: Vec<u8>,
-    },
-    /// The sender has emitted everything it will send in `round`.
-    EndRound {
-        /// The closed round.
-        round: u32,
-    },
-    /// The sender terminated in `round`; satisfies every later barrier.
-    Finished {
-        /// The terminal round.
-        round: u32,
-    },
-}
-
-const TAG_HELLO: u8 = 0;
-const TAG_HELLO_ACK: u8 = 1;
-const TAG_PAYLOAD: u8 = 2;
-const TAG_END_ROUND: u8 = 3;
-const TAG_FINISHED: u8 = 4;
-
-impl Wire for Envelope {
-    fn encode_to(&self, out: &mut Vec<u8>) {
-        match self {
-            Envelope::Hello { from, to } => {
-                out.push(TAG_HELLO);
-                from.encode_to(out);
-                to.encode_to(out);
-            }
-            Envelope::HelloAck { from } => {
-                out.push(TAG_HELLO_ACK);
-                from.encode_to(out);
-            }
-            Envelope::Payload {
-                round,
-                broadcast,
-                frame,
-            } => {
-                out.push(TAG_PAYLOAD);
-                round.encode_to(out);
-                out.push(u8::from(*broadcast));
-                frame.encode_to(out);
-            }
-            Envelope::EndRound { round } => {
-                out.push(TAG_END_ROUND);
-                round.encode_to(out);
-            }
-            Envelope::Finished { round } => {
-                out.push(TAG_FINISHED);
-                round.encode_to(out);
-            }
-        }
-    }
-
-    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
-        match u8::decode(input)? {
-            TAG_HELLO => Ok(Envelope::Hello {
-                from: u32::decode(input)?,
-                to: u32::decode(input)?,
-            }),
-            TAG_HELLO_ACK => Ok(Envelope::HelloAck {
-                from: u32::decode(input)?,
-            }),
-            TAG_PAYLOAD => Ok(Envelope::Payload {
-                round: u32::decode(input)?,
-                broadcast: match u8::decode(input)? {
-                    0 => false,
-                    1 => true,
-                    t => return Err(CodecError::InvalidTag(t)),
-                },
-                frame: Vec::<u8>::decode(input)?,
-            }),
-            TAG_END_ROUND => Ok(Envelope::EndRound {
-                round: u32::decode(input)?,
-            }),
-            TAG_FINISHED => Ok(Envelope::Finished {
-                round: u32::decode(input)?,
-            }),
-            tag => Err(CodecError::InvalidTag(tag)),
-        }
-    }
-}
-
-/// Writes one length-prefixed envelope.
-fn write_envelope(stream: &mut TcpStream, env: &Envelope) -> std::io::Result<()> {
-    let body = env.encode();
-    let mut buf = Vec::with_capacity(4 + body.len());
-    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&body);
-    stream.write_all(&buf)
-}
-
-/// Reads one length-prefixed envelope, enforcing [`MAX_ENVELOPE_BYTES`].
-fn read_envelope(stream: &mut TcpStream) -> Result<Envelope, Error> {
-    let mut len_bytes = [0u8; 4];
-    stream.read_exact(&mut len_bytes)?;
-    let len = u32::from_be_bytes(len_bytes) as usize;
-    if len > MAX_ENVELOPE_BYTES {
-        return Err(TcpError::OversizedEnvelope {
-            declared: len,
-            max: MAX_ENVELOPE_BYTES,
-        }
-        .into());
-    }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    Ok(Envelope::decode_exact(&body)?)
 }
 
 /// Dials `addr` with exponential backoff — how a mesh member tolerates
@@ -324,6 +186,7 @@ fn accept_mesh(
 ) -> Result<BTreeMap<PlayerId, TcpStream>, TcpError> {
     let mut accepted: BTreeMap<PlayerId, TcpStream> = BTreeMap::new();
     listener.set_nonblocking(true)?;
+    let mut readiness = Readiness::new();
     while accepted.len() < expected.len() {
         if Instant::now() >= deadline {
             let missing: Vec<PlayerId> = expected
@@ -335,6 +198,7 @@ fn accept_mesh(
         }
         match listener.accept() {
             Ok((mut stream, _)) => {
+                readiness.note_progress();
                 // The accepted socket must be blocking regardless of
                 // what it inherited from the nonblocking listener.
                 stream.set_nonblocking(false)?;
@@ -357,7 +221,12 @@ fn accept_mesh(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                // Block until a connection is pending (or the deadline
+                // passes) instead of the old fixed 2 ms sleep-poll: an
+                // idle acceptor costs nothing, a busy one wakes at once.
+                let budget = deadline.saturating_duration_since(Instant::now());
+                let mut wants = [Want::readable(fd_of(&listener))];
+                readiness.wait(&mut wants, budget)?;
             }
             Err(e) => return Err(TcpError::Io(e)),
         }
@@ -369,13 +238,6 @@ fn accept_mesh(
 enum Event {
     Env(PlayerId, Envelope),
     Gone(PlayerId),
-}
-
-/// A parked inbound frame, keyed by the round it belongs to.
-struct Parked {
-    from: PlayerId,
-    broadcast: bool,
-    frame: Vec<u8>,
 }
 
 /// Drives **one** player of a protocol over a TCP mesh. The other
@@ -497,7 +359,25 @@ impl<M: Wire, O> TcpTransport<M, O> {
     /// after `max_rounds`; [`SimError::UnknownRecipient`] on a
     /// misaddressed frame; socket failures during the run are treated as
     /// peer crashes, not errors.
-    pub fn run(mut self, max_rounds: usize) -> Result<(O, Metrics), Error> {
+    pub fn run(self, max_rounds: usize) -> Result<(O, Metrics), Error> {
+        let (out, metrics, _) = self.run_with_stats(max_rounds)?;
+        Ok((out, metrics))
+    }
+
+    /// [`Self::run`], additionally returning the socket-layer
+    /// [`TransportStats`] (connection high-water, frames in/out).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_with_stats(
+        mut self,
+        max_rounds: usize,
+    ) -> Result<(O, Metrics, TransportStats), Error> {
+        let mut stats = TransportStats {
+            connections_high_water: self.streams.len() as u64,
+            ..TransportStats::default()
+        };
         let (event_tx, event_rx) = mpsc::channel::<Event>();
         let mut reader_streams: Vec<(PlayerId, TcpStream)> = Vec::new();
         for (pid, stream) in &self.streams {
@@ -523,7 +403,7 @@ impl<M: Wire, O> TcpTransport<M, O> {
             }
             drop(event_tx);
 
-            let out = self.drive(max_rounds, &event_rx);
+            let out = self.drive(max_rounds, &event_rx, &mut stats);
             // Unblock the reader threads whatever happened: once every
             // socket is shut down they hit EOF and exit, so the scope
             // join cannot deadlock (and peers see the disconnect instead
@@ -535,55 +415,30 @@ impl<M: Wire, O> TcpTransport<M, O> {
             out
         });
 
-        result
+        result.map(|(out, metrics)| (out, metrics, stats))
     }
 
-    /// The round engine (runs on the caller's thread).
+    /// The round engine (runs on the caller's thread). The routing,
+    /// metering and barrier logic is the shared [`crate::mesh`] engine —
+    /// only the byte movement (blocking writes here, reader threads
+    /// feeding `events`) is transport-specific.
     fn drive(
         &mut self,
         max_rounds: usize,
         events: &mpsc::Receiver<Event>,
+        stats: &mut TransportStats,
     ) -> Result<(O, Metrics), Error> {
         let policy = self.options.policy.clone();
         let mut metrics = Metrics::default();
         let mut send_rng = policy.sender_rng(self.id);
-        // Frames parked for a future round's barrier.
-        let mut pending: BTreeMap<u32, Vec<Parked>> = BTreeMap::new();
-        // Highest round each peer has closed with EndRound.
-        let mut closed: BTreeMap<PlayerId, Option<u32>> =
-            self.streams.keys().map(|p| (*p, None)).collect();
-        let mut finished: BTreeSet<PlayerId> = BTreeSet::new();
-        let mut gone: BTreeSet<PlayerId> = BTreeSet::new();
+        let mut state = RoundState::new(self.streams.keys().copied());
         let run_start = Instant::now();
 
         for round in 0..max_rounds {
             let round_start = Instant::now();
             let r32 = round as u32;
 
-            // Assemble this round's inbox: everything parked at the
-            // barrier, plus local self-deliveries, in sender-id order
-            // (matching the in-process transports' registration order —
-            // our drivers register players in ascending id order).
-            let mut parked = pending.remove(&r32).unwrap_or_default();
-            parked.sort_by_key(|p| p.from);
-            if policy.reorder {
-                // Receiver-side shuffle from the shared per-(receiver,
-                // deliver-round) stream — draw-for-draw identical to the
-                // router's per-inbox Fisher–Yates.
-                let mut rng = policy.reorder_rng(round, self.id);
-                for i in (1..parked.len()).rev() {
-                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                    parked.swap(i, j);
-                }
-            }
-            let inbox: Vec<Delivered<M>> = parked
-                .into_iter()
-                .map(|p| Delivered {
-                    from: p.from,
-                    broadcast: p.broadcast,
-                    msg: decode_frame(&p.frame),
-                })
-                .collect();
+            let inbox = state.take_inbox::<M>(round, self.id, &policy);
 
             // Advance the state machine, pinned sequential like the
             // channel transport's workers so nested parallel primitives
@@ -597,86 +452,35 @@ impl<M: Wire, O> TcpTransport<M, O> {
                     metrics.per_round_elapsed.push(round_start.elapsed());
                     metrics.total_rounds += 1;
                     metrics.elapsed = run_start.elapsed();
-                    self.broadcast_control(&Envelope::Finished { round: r32 }, &finished, &gone);
+                    self.broadcast_control(&Envelope::Finished { round: r32 }, &state, stats);
                     return Ok((out, metrics));
                 }
                 RoundAction::Continue(outgoing) => {
-                    let mut round_msgs = 0usize;
-                    let mut round_bytes = 0usize;
-                    for out in outgoing {
-                        let mut frame = encode_frame(&out.msg);
-                        // Meter sender-side at the real encoded length,
-                        // before fault injection — identical to the
-                        // shared router.
-                        round_msgs += 1;
-                        round_bytes += frame.len();
-                        *metrics.bytes_by_player.entry(self.id).or_insert(0) += frame.len();
-                        policy.tamper_frame(round, self.id, &mut frame);
-
-                        match out.to {
-                            Recipient::Broadcast => {
-                                pending.entry(r32 + 1).or_default().push(Parked {
-                                    from: self.id,
-                                    broadcast: true,
-                                    frame: frame.clone(),
-                                });
-                                self.fan_out(
-                                    &Envelope::Payload {
-                                        round: r32,
-                                        broadcast: true,
-                                        frame,
-                                    },
-                                    &finished,
-                                    &mut gone,
-                                );
+                    let me = self.id;
+                    let streams = &mut self.streams;
+                    route_outgoing(
+                        me,
+                        round,
+                        outgoing,
+                        &policy,
+                        &mut send_rng,
+                        &mut state,
+                        &mut metrics,
+                        &mut |pid, env| match streams.get_mut(&pid) {
+                            Some(stream) => {
+                                let ok = write_envelope(stream, env).is_ok();
+                                if ok {
+                                    stats.frames_out += 1;
+                                }
+                                // A failed write marks the peer crashed
+                                // (its reader thread will confirm with an
+                                // EOF event).
+                                ok
                             }
-                            Recipient::Private(to) => {
-                                if to != self.id && !self.streams.contains_key(&to) {
-                                    return Err(SimError::UnknownRecipient(to).into());
-                                }
-                                if !policy.link_up(round, self.id, to) {
-                                    continue;
-                                }
-                                let dropped =
-                                    DeliveryPolicy::chance(&mut send_rng, policy.drop_rate);
-                                let duplicated = !dropped
-                                    && DeliveryPolicy::chance(&mut send_rng, policy.duplicate_rate);
-                                if dropped {
-                                    continue;
-                                }
-                                let copies = if duplicated { 2 } else { 1 };
-                                for _ in 0..copies {
-                                    if to == self.id {
-                                        pending.entry(r32 + 1).or_default().push(Parked {
-                                            from: self.id,
-                                            broadcast: false,
-                                            frame: frame.clone(),
-                                        });
-                                    } else if !finished.contains(&to) && !gone.contains(&to) {
-                                        self.send_to(
-                                            to,
-                                            &Envelope::Payload {
-                                                round: r32,
-                                                broadcast: false,
-                                                frame: frame.clone(),
-                                            },
-                                            &mut gone,
-                                        );
-                                    }
-                                    // A private frame to a finished peer
-                                    // is metered but silently dropped —
-                                    // its recipient legitimately left.
-                                }
-                            }
-                        }
-                    }
-                    metrics.messages += round_msgs;
-                    metrics.bytes += round_bytes;
-                    metrics.per_round.push((round_msgs, round_bytes));
-                    if round_msgs > 0 {
-                        metrics.active_rounds += 1;
-                    }
-                    self.broadcast_control(&Envelope::EndRound { round: r32 }, &finished, &gone);
+                            None => true,
+                        },
+                    )?;
+                    self.broadcast_control(&Envelope::EndRound { round: r32 }, &state, stats);
                 }
             }
 
@@ -685,15 +489,7 @@ impl<M: Wire, O> TcpTransport<M, O> {
             // round timeout).
             let deadline = Instant::now() + self.options.round_timeout;
             loop {
-                let waiting: Vec<PlayerId> = closed
-                    .iter()
-                    .filter(|(p, c)| {
-                        !finished.contains(p)
-                            && !gone.contains(p)
-                            && !matches!(c, Some(done) if *done >= r32)
-                    })
-                    .map(|(p, _)| *p)
-                    .collect();
+                let waiting = state.waiting_on(r32);
                 if waiting.is_empty() {
                     break;
                 }
@@ -702,47 +498,21 @@ impl<M: Wire, O> TcpTransport<M, O> {
                     // Silent peers past the deadline are crashed as far
                     // as this round is concerned; the complaint/timeout
                     // machinery upstairs deals with their absence.
-                    gone.extend(waiting);
+                    state.gone.extend(waiting);
                     break;
                 }
                 match events.recv_timeout(budget) {
-                    Ok(Event::Env(pid, env)) => match env {
-                        Envelope::Payload {
-                            round: pr,
-                            broadcast,
-                            frame,
-                        } => {
-                            // A round-`pr` payload belongs to the
-                            // round-`pr + 1` inbox (sent in `pr`,
-                            // delivered at the next barrier). Frames for
-                            // rounds already closed here — a straggler
-                            // after a timeout verdict — are dropped.
-                            if pr >= r32 {
-                                pending.entry(pr + 1).or_default().push(Parked {
-                                    from: pid,
-                                    broadcast,
-                                    frame,
-                                });
-                            }
-                        }
-                        Envelope::EndRound { round: pr } => {
-                            let entry = closed.entry(pid).or_insert(None);
-                            *entry = Some(entry.map_or(pr, |c| c.max(pr)));
-                        }
-                        Envelope::Finished { .. } => {
-                            finished.insert(pid);
-                        }
-                        // Handshake words after the mesh is up are a
-                        // protocol violation; ignore them.
-                        Envelope::Hello { .. } | Envelope::HelloAck { .. } => {}
-                    },
+                    Ok(Event::Env(pid, env)) => {
+                        stats.frames_in += 1;
+                        state.note_envelope(pid, env, r32);
+                    }
                     Ok(Event::Gone(pid)) => {
-                        gone.insert(pid);
+                        state.gone.insert(pid);
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
                     Err(mpsc::RecvTimeoutError::Disconnected) => {
                         // All reader threads exited: every peer is gone.
-                        gone.extend(waiting);
+                        state.gone.extend(waiting);
                         break;
                     }
                 }
@@ -764,41 +534,14 @@ impl<M: Wire, O> TcpTransport<M, O> {
     fn broadcast_control(
         &mut self,
         env: &Envelope,
-        finished: &BTreeSet<PlayerId>,
-        gone: &BTreeSet<PlayerId>,
+        state: &RoundState,
+        stats: &mut TransportStats,
     ) {
-        let targets: Vec<PlayerId> = self
-            .streams
-            .keys()
-            .filter(|p| !finished.contains(p) && !gone.contains(p))
-            .copied()
-            .collect();
-        for pid in targets {
+        for pid in state.live_peers() {
             if let Some(stream) = self.streams.get_mut(&pid) {
-                let _ = write_envelope(stream, env);
-            }
-        }
-    }
-
-    /// Fans a payload out to every live peer (the broadcast channel).
-    fn fan_out(&mut self, env: &Envelope, finished: &BTreeSet<PlayerId>, gone: &mut BTreeSet<u32>) {
-        let targets: Vec<PlayerId> = self
-            .streams
-            .keys()
-            .filter(|p| !finished.contains(p) && !gone.contains(p))
-            .copied()
-            .collect();
-        for pid in targets {
-            self.send_to(pid, env, gone);
-        }
-    }
-
-    /// Writes to one peer; a failed write marks the peer crashed (its
-    /// reader thread will confirm with an EOF event).
-    fn send_to(&mut self, pid: PlayerId, env: &Envelope, gone: &mut BTreeSet<PlayerId>) {
-        if let Some(stream) = self.streams.get_mut(&pid) {
-            if write_envelope(stream, env).is_err() {
-                gone.insert(pid);
+                if write_envelope(stream, env).is_ok() {
+                    stats.frames_out += 1;
+                }
             }
         }
     }
@@ -864,7 +607,9 @@ pub(crate) fn run_tcp_loopback<M: Wire, O: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Outgoing, Protocol};
+    use crate::{Outgoing, Protocol, Recipient};
+    use borndist_pairing::codec::CodecError;
+    use std::io::Write;
 
     #[test]
     fn envelope_roundtrip() {

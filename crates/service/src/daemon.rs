@@ -11,15 +11,17 @@
 //!   protocol.
 
 use crate::{
-    read_frame, run_gateway_worker, write_frame, ClientRequest, ClientResponse, ServiceCoordinator,
-    ServiceOutcome, ServicePlayer, Topology, DKG_ROUND_BUDGET, SIGN_ROUND_BUDGET,
+    read_frame, run_gateway_worker, write_frame, ClientRequest, ClientResponse, MeshTransport,
+    ServiceCoordinator, ServiceOutcome, ServicePlayer, Topology, DKG_ROUND_BUDGET,
+    SIGN_ROUND_BUDGET,
 };
 use borndist_core::aggregate::AggregateScheme;
 use borndist_core::gateway::{AggregationGateway, GatewayConfig, VerifyRequest};
 use borndist_core::ro::ThresholdScheme;
 use borndist_dkg::dkg_players;
 use borndist_net::{
-    BoxedPlayer, DeliveryPolicy, LatencySummary, PlayerId, TcpOptions, TcpTransport, TransportKind,
+    BoxedPlayer, DeliveryPolicy, LatencySummary, Metrics, PlayerId, ReactorTransport, TcpOptions,
+    TcpTransport, TransportKind, TransportStats, Wire,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,6 +79,28 @@ fn proto(msg: impl Into<String>) -> ServiceError {
     ServiceError::Protocol(msg.into())
 }
 
+/// Connects and runs one mesh on the topology's configured socket
+/// engine. Same player, same peers, same frames — only the byte-moving
+/// machinery differs, so callers treat the result identically.
+fn run_mesh<M: Wire, O>(
+    engine: MeshTransport,
+    player: BoxedPlayer<M, O>,
+    listen: std::net::SocketAddr,
+    peers: std::collections::BTreeMap<PlayerId, std::net::SocketAddr>,
+    budget: usize,
+) -> Result<(O, Metrics, TransportStats), borndist_net::Error> {
+    match engine {
+        MeshTransport::Threaded => {
+            TcpTransport::connect(player, listen, peers, TcpOptions::default())?
+                .run_with_stats(budget)
+        }
+        MeshTransport::Reactor => {
+            ReactorTransport::connect(player, listen, peers, TcpOptions::default())?
+                .run_with_stats(budget)
+        }
+    }
+}
+
 /// One signing node, start to finish: DKG over the TCP mesh, local key
 /// assembly, then the signing mesh until the front-end shuts the
 /// deployment down. Returns the number of sessions this node observed
@@ -89,26 +113,26 @@ pub fn run_player(top: &Topology, id: PlayerId) -> Result<usize, ServiceError> {
     // Phase 1: Pedersen DKG among the players only (ports dkg_base+i).
     let mut players = dkg_players(&cfg, &BTreeMap::new(), top.seed);
     let me = players.remove(id as usize - 1);
-    let transport = TcpTransport::connect(
+    let (output, dkg_metrics, dkg_transport) = run_mesh(
+        top.transport,
         me,
         Topology::addr(top.dkg_base, id),
         Topology::peers(top.dkg_base, id, n),
-        TcpOptions::default(),
+        DKG_ROUND_BUDGET,
     )?;
-    let (output, dkg_metrics) = transport.run(DKG_ROUND_BUDGET)?;
     let output =
         output.map_err(|abort| proto(format!("player {}: DKG aborted: {:?}", id, abort)))?;
     let km = scheme.key_material_from_output(top.params, id, &output);
 
     // Phase 2: the signing mesh, now including the front-end at n+1.
-    let player = ServicePlayer::new(scheme, &km, id, dkg_metrics);
-    let transport = TcpTransport::connect(
+    let player = ServicePlayer::new(scheme, &km, id, dkg_metrics, dkg_transport);
+    let (outcome, _, _) = run_mesh(
+        top.transport,
         Box::new(player) as BoxedPlayer<_, ServiceOutcome>,
         Topology::addr(top.sign_base, id),
         Topology::peers(top.sign_base, id, n + 1),
-        TcpOptions::default(),
+        SIGN_ROUND_BUDGET,
     )?;
-    let (outcome, _) = transport.run(SIGN_ROUND_BUDGET)?;
     Ok(outcome.mux.signatures.len())
 }
 
@@ -147,13 +171,16 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
     let mesh = {
         let listen = Topology::addr(top.sign_base, n + 1);
         let peers = Topology::peers(top.sign_base, n + 1, n);
-        let transport = TcpTransport::connect(
-            Box::new(coordinator) as BoxedPlayer<_, ServiceOutcome>,
-            listen,
-            peers,
-            TcpOptions::default(),
-        )?;
-        std::thread::spawn(move || transport.run(SIGN_ROUND_BUDGET))
+        let engine = top.transport;
+        std::thread::spawn(move || {
+            run_mesh(
+                engine,
+                Box::new(coordinator) as BoxedPlayer<_, ServiceOutcome>,
+                listen,
+                peers,
+                SIGN_ROUND_BUDGET,
+            )
+        })
     };
 
     // The verification gateway on its own worker thread. Weights are
@@ -267,7 +294,7 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
         write_frame(&mut client_out, &resp)?;
     }
 
-    let (outcome, _metrics) = mesh
+    let (outcome, _metrics, sign_transport) = mesh
         .join()
         .map_err(|_| proto("signing mesh thread panicked"))??;
     reader
@@ -284,6 +311,10 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
         .ready
         .ok_or_else(|| proto("front-end finished without Ready info"))?;
     let latencies: Vec<std::time::Duration> = outcome.mux.latencies.values().copied().collect();
+    // Deployment-wide socket counters: every player's DKG-mesh view
+    // (shipped inside Ready) plus this process's signing-mesh view.
+    let mut transport = info.dkg_transport;
+    transport.absorb(&sign_transport);
     write_frame(
         &mut client_out,
         &ClientResponse::Summary {
@@ -294,6 +325,7 @@ pub fn run_frontend(top: &Topology, client_listener: TcpListener) -> Result<(), 
             verified,
             sign_latency: LatencySummary::from_samples(&latencies),
             verify_latency: LatencySummary::from_samples(&verify_samples),
+            transport,
         },
     )?;
     Ok(())
@@ -367,6 +399,7 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         ("--dkg-base", top.dkg_base.to_string()),
         ("--sign-base", top.sign_base.to_string()),
         ("--max-in-flight", top.max_in_flight.to_string()),
+        ("--transport", top.transport.flag().to_string()),
     ];
     let spawn = |mode: &str, extra: &[(&str, String)]| -> Result<Child, ServiceError> {
         let mut cmd = Command::new(&exe);
@@ -484,6 +517,7 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         verified,
         sign_latency,
         verify_latency,
+        transport,
     } = summary
     else {
         return Err(proto("expected Summary after Shutdown"));
@@ -525,6 +559,20 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
             verify_latency.count, verified
         )));
     }
+    // Socket counters must show a real deployment: every process held
+    // connections and moved frames. (Partial-read resumptions are
+    // workload-dependent — loopback frequently delivers whole frames —
+    // so they are reported, not gated.)
+    if transport.connections_high_water == 0
+        || transport.frames_in == 0
+        || transport.frames_out == 0
+    {
+        return Err(proto(format!(
+            "transport counters empty: {:?} (engine {})",
+            transport,
+            top.transport.flag()
+        )));
+    }
 
     for (i, child) in players.into_iter().enumerate() {
         wait_ok(child, &format!("player {}", i + 1))?;
@@ -532,7 +580,8 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
     wait_ok(frontend, "frontend")?;
 
     println!(
-        "SMOKE OK: {} requests signed, {} verified by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}; sign p50/p99 {:?}/{:?}; verify p50/p99 {:?}/{:?}",
+        "SMOKE OK ({}): {} requests signed, {} verified by {} processes; DKG parity {} msgs / {} bytes; high water {} <= {}; sign p50/p99 {:?}/{:?}; verify p50/p99 {:?}/{:?}; sockets hw {} frames {}/{} resumptions {}",
+        top.transport.flag(),
         requests,
         verified,
         n + 1,
@@ -544,6 +593,10 @@ pub fn run_smoke(top: &Topology, requests: u64) -> Result<(), ServiceError> {
         sign_latency.p99,
         verify_latency.p50,
         verify_latency.p99,
+        transport.connections_high_water,
+        transport.frames_in,
+        transport.frames_out,
+        transport.partial_read_resumptions,
     );
     Ok(())
 }

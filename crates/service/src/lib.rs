@@ -36,7 +36,7 @@ use borndist_core::netsign::{MuxCoordinator, MuxMessage, MuxOutcome, MuxSignerPl
 use borndist_core::ro::{KeyMaterial, PublicKey, Signature, ThresholdScheme};
 use borndist_net::{
     CodecError, Delivered, LatencySummary, Metrics, Outgoing, PlayerId, Protocol, Recipient,
-    RoundAction, Wire,
+    RoundAction, TransportStats, Wire,
 };
 use borndist_shamir::ThresholdParams;
 use std::collections::BTreeMap;
@@ -84,6 +84,9 @@ pub enum ServiceMessage {
         /// This player's sender-side DKG metrics (merged by the
         /// front-end into the global view).
         dkg_metrics: Metrics,
+        /// This player's DKG-mesh socket counters (summed by the
+        /// front-end into the deployment aggregate).
+        dkg_transport: TransportStats,
     },
     /// A multiplexed-signing message, verbatim.
     Mux(MuxMessage),
@@ -95,10 +98,12 @@ impl Wire for ServiceMessage {
             ServiceMessage::Ready {
                 public_key,
                 dkg_metrics,
+                dkg_transport,
             } => {
                 out.push(TAG_READY);
                 public_key.encode_to(out);
                 dkg_metrics.encode_to(out);
+                dkg_transport.encode_to(out);
             }
             ServiceMessage::Mux(m) => {
                 out.push(TAG_MUX);
@@ -111,6 +116,7 @@ impl Wire for ServiceMessage {
             TAG_READY => Ok(ServiceMessage::Ready {
                 public_key: PublicKey::decode(input)?,
                 dkg_metrics: Metrics::decode(input)?,
+                dkg_transport: TransportStats::decode(input)?,
             }),
             TAG_MUX => Ok(ServiceMessage::Mux(MuxMessage::decode(input)?)),
             tag => Err(CodecError::InvalidTag(tag)),
@@ -125,6 +131,9 @@ pub struct ReadyInfo {
     pub public_key: PublicKey,
     /// All players' DKG metrics merged into the global traffic view.
     pub dkg_metrics: Metrics,
+    /// All players' DKG-mesh socket counters summed into a deployment
+    /// aggregate.
+    pub dkg_transport: TransportStats,
 }
 
 /// Per-node output of a signing-mesh run.
@@ -178,7 +187,7 @@ pub struct ServicePlayer {
     /// the front-end arrives (its first `Open`/`Shutdown` broadcast
     /// proves the handoff landed — it only opens sessions once all
     /// `Ready`s are in).
-    ready: Option<(PublicKey, Metrics)>,
+    ready: Option<(PublicKey, Metrics, TransportStats)>,
 }
 
 impl ServicePlayer {
@@ -190,6 +199,7 @@ impl ServicePlayer {
         km: &KeyMaterial,
         id: PlayerId,
         dkg_metrics: Metrics,
+        dkg_transport: TransportStats,
     ) -> Self {
         let n = km.params.n as PlayerId;
         let signer_ids: Vec<PlayerId> = (1..=n).collect();
@@ -205,7 +215,7 @@ impl ServicePlayer {
             inner,
             id,
             frontend: n + 1,
-            ready: Some((km.public_key.clone(), dkg_metrics)),
+            ready: Some((km.public_key.clone(), dkg_metrics, dkg_transport)),
         }
     }
 }
@@ -225,12 +235,13 @@ impl Protocol for ServicePlayer {
         match self.inner.round(round, &mux_inbox(inbox)) {
             RoundAction::Continue(out) => {
                 let mut out = wrap_mux(out);
-                if let Some((public_key, dkg_metrics)) = self.ready.clone() {
+                if let Some((public_key, dkg_metrics, dkg_transport)) = self.ready.clone() {
                     out.push(Outgoing {
                         to: Recipient::Private(self.frontend),
                         msg: ServiceMessage::Ready {
                             public_key,
                             dkg_metrics,
+                            dkg_transport,
                         },
                     });
                 }
@@ -265,7 +276,7 @@ pub struct ServiceCoordinator {
     scheme: ThresholdScheme,
     max_in_flight: usize,
     source: Option<CoordinatorSource>,
-    ready: BTreeMap<PlayerId, (PublicKey, Metrics)>,
+    ready: BTreeMap<PlayerId, (PublicKey, Metrics, TransportStats)>,
     inner: Option<MuxCoordinator>,
     info: Option<ReadyInfo>,
 }
@@ -316,25 +327,31 @@ impl ServiceCoordinator {
             if let Ok(ServiceMessage::Ready {
                 public_key,
                 dkg_metrics,
+                dkg_transport,
             }) = &d.msg
             {
                 if !d.broadcast && d.from >= 1 && d.from <= self.n as PlayerId {
-                    self.ready
-                        .entry(d.from)
-                        .or_insert_with(|| (public_key.clone(), dkg_metrics.clone()));
+                    self.ready.entry(d.from).or_insert_with(|| {
+                        (public_key.clone(), dkg_metrics.clone(), *dkg_transport)
+                    });
                 }
             }
         }
         if self.inner.is_none() && self.ready.len() == self.n {
-            let (first, _) = self.ready.values().next().expect("n >= 1").clone();
+            let (first, _, _) = self.ready.values().next().expect("n >= 1").clone();
             assert!(
-                self.ready.values().all(|(pk, _)| *pk == first),
+                self.ready.values().all(|(pk, _, _)| *pk == first),
                 "players disagree on the DKG public key"
             );
-            let merged = Metrics::merge(self.ready.values().map(|(_, m)| m));
+            let merged = Metrics::merge(self.ready.values().map(|(_, m, _)| m));
+            let mut transport = TransportStats::default();
+            for (_, _, t) in self.ready.values() {
+                transport.absorb(t);
+            }
             self.info = Some(ReadyInfo {
                 public_key: first.clone(),
                 dkg_metrics: merged,
+                dkg_transport: transport,
             });
             let inner = match self.source.take().expect("source consumed once") {
                 CoordinatorSource::Queue(requests) => MuxCoordinator::with_requests(
@@ -523,6 +540,10 @@ pub enum ClientResponse {
         /// Per-request receive → verdict wall-clock percentiles for the
         /// verification gateway path.
         verify_latency: LatencySummary,
+        /// Deployment-wide socket counters: every player's DKG-mesh
+        /// stats (carried by [`ServiceMessage::Ready`]) plus the
+        /// front-end's own signing-mesh stats, summed.
+        transport: TransportStats,
     },
 }
 
@@ -548,6 +569,7 @@ impl Wire for ClientResponse {
                 verified,
                 sign_latency,
                 verify_latency,
+                transport,
             } => {
                 out.push(TAG_SUMMARY);
                 public_key.encode_to(out);
@@ -557,6 +579,7 @@ impl Wire for ClientResponse {
                 verified.encode_to(out);
                 sign_latency.encode_to(out);
                 verify_latency.encode_to(out);
+                transport.encode_to(out);
             }
         }
     }
@@ -583,6 +606,7 @@ impl Wire for ClientResponse {
                 verified: u64::decode(input)?,
                 sign_latency: LatencySummary::decode(input)?,
                 verify_latency: LatencySummary::decode(input)?,
+                transport: TransportStats::decode(input)?,
             }),
             tag => Err(CodecError::InvalidTag(tag)),
         }
@@ -676,6 +700,45 @@ pub fn run_gateway_worker<R: rand::RngCore>(
 // Deployment topology shared by every mode.
 // ---------------------------------------------------------------------
 
+/// Which socket engine a daemon process runs its meshes on. Both move
+/// the same frames through the same routing engine, so `Metrics` stay
+/// byte-identical; they differ only in how the bytes move (threads vs
+/// one poll loop).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MeshTransport {
+    /// Thread-per-peer blocking sockets ([`borndist_net::TcpTransport`]).
+    #[default]
+    Threaded,
+    /// One event-driven poll loop per process
+    /// ([`borndist_net::ReactorTransport`]).
+    Reactor,
+}
+
+impl MeshTransport {
+    /// The `--transport` flag value naming this engine (inverse of
+    /// [`FromStr`](std::str::FromStr)).
+    pub fn flag(self) -> &'static str {
+        match self {
+            MeshTransport::Threaded => "tcp",
+            MeshTransport::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::str::FromStr for MeshTransport {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tcp" | "threaded" => Ok(MeshTransport::Threaded),
+            "reactor" => Ok(MeshTransport::Reactor),
+            other => Err(format!(
+                "unknown transport {:?} (expected tcp or reactor)",
+                other
+            )),
+        }
+    }
+}
+
 /// Everything the processes of one deployment must agree on.
 #[derive(Clone, Debug)]
 pub struct Topology {
@@ -692,6 +755,10 @@ pub struct Topology {
     pub sign_base: u16,
     /// Backpressure bound on concurrently open signing sessions.
     pub max_in_flight: usize,
+    /// Socket engine for both meshes (all processes must agree — the
+    /// engines interoperate on the wire, but mixing them would make the
+    /// reported socket counters incoherent).
+    pub transport: MeshTransport,
 }
 
 impl Topology {
@@ -736,6 +803,7 @@ mod tests {
                     &km,
                     id,
                     dkg_metrics.clone(),
+                    TransportStats::default(),
                 )) as _
             })
             .collect();
@@ -758,6 +826,12 @@ mod tests {
         let ready = ServiceMessage::Ready {
             public_key: km.public_key.clone(),
             dkg_metrics: metrics,
+            dkg_transport: TransportStats {
+                connections_high_water: 2,
+                frames_in: 10,
+                frames_out: 12,
+                partial_read_resumptions: 1,
+            },
         };
         match ServiceMessage::decode_exact(&ready.encode()).unwrap() {
             ServiceMessage::Ready { public_key, .. } => assert_eq!(public_key, km.public_key),

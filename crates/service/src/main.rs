@@ -6,8 +6,12 @@
 //! borndist-service frontend --n 4 --t 1 --seed 7 --domain demo \
 //!                           --dkg-base 9000 --sign-base 9100 --max-in-flight 8 \
 //!                           --client-port 9200
-//! borndist-service smoke    --n 4 --t 1 --requests 100
+//! borndist-service smoke    --n 4 --t 1 --requests 100 --transport reactor
 //! ```
+//!
+//! `--transport` picks the mesh socket engine for every process:
+//! `tcp` (thread-per-peer, the default) or `reactor` (one poll loop
+//! per process).
 //!
 //! `player` and `frontend` are the long-running deployment processes;
 //! `smoke` spawns a whole deployment (players + front-end as child
@@ -15,7 +19,7 @@
 //! metrics byte-parity with an in-process reference run.
 
 use borndist_service::daemon::{free_port_block, run_frontend, run_player, run_smoke};
-use borndist_service::Topology;
+use borndist_service::{MeshTransport, Topology};
 use borndist_shamir::ThresholdParams;
 use std::collections::BTreeMap;
 use std::net::TcpListener;
@@ -68,6 +72,7 @@ fn topology(args: &Args) -> Result<Topology, String> {
         dkg_base: args.get_or("dkg-base", 0)?,
         sign_base: args.get_or("sign-base", 0)?,
         max_in_flight: args.get_or("max-in-flight", 8)?,
+        transport: args.get_or("transport", MeshTransport::Threaded)?,
     })
 }
 

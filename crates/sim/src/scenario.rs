@@ -424,11 +424,22 @@ fn churn(seed: u64) -> Result<ScenarioReport, String> {
         ..DeliveryPolicy::default()
     };
     let honest: BTreeSet<PlayerId> = (1..=n as PlayerId).collect();
-    let (outputs, _) = dkg_session(
+    let (outputs, m_chan) = dkg_session(
         &cfg,
         &BTreeMap::new(),
         seed,
-        &TransportKind::Channel(policy),
+        &TransportKind::Channel(policy.clone()),
+    )
+    .map_err(|e| e.to_string())?;
+    // The same churn over real sockets through the event-driven
+    // reactor: outages, duplication and reordering come from the shared
+    // policy streams, so the schedule — and the metered traffic — must
+    // be identical to the in-process run.
+    let (out_rx, m_rx) = dkg_session(
+        &cfg,
+        &BTreeMap::new(),
+        seed,
+        &TransportKind::TcpReactor(policy),
     )
     .map_err(|e| e.to_string())?;
     let agreed = agreement(&outputs, &honest);
@@ -457,6 +468,14 @@ fn churn(seed: u64) -> Result<ScenarioReport, String> {
                 .to_string(),
         },
         honest_shares_verify(&cfg, &outputs, &honest),
+        Criterion {
+            name: "reactor-parity",
+            pass: m_chan.same_traffic(&m_rx) && qualified_of(&out_rx, &honest) == qualified,
+            detail: format!(
+                "channel {} msgs / {} bytes vs reactor sockets {} msgs / {} bytes, same qualified set",
+                m_chan.messages, m_chan.bytes, m_rx.messages, m_rx.bytes
+            ),
+        },
     ];
     Ok(ScenarioReport {
         name: "churn".into(),

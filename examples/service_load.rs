@@ -33,13 +33,15 @@
 use borndist::core::gateway::{AggregationGateway, GatewayConfig, Verdict, VerifyRequest};
 use borndist::core::ro::{PartialSignature, Signature, ThresholdScheme};
 use borndist::core::{AggPublicKey, AggregateScheme};
-use borndist::net::{BoxedPlayer, LatencySummary, TcpOptions, TcpTransport, TransportKind};
+use borndist::net::{
+    BoxedPlayer, LatencySummary, TcpOptions, TcpTransport, TransportKind, TransportStats,
+};
 use borndist::shamir::ThresholdParams;
 use borndist_bench::load::{arrival_schedule, ClassRecorder, OpClass, ScheduledOp, WorkloadMix};
 use borndist_service::daemon::free_port_block;
 use borndist_service::{
-    run_gateway_worker, ClientResponse, ServiceCoordinator, ServiceOutcome, ServicePlayer,
-    Topology, SIGN_ROUND_BUDGET,
+    run_gateway_worker, ClientResponse, MeshTransport, ServiceCoordinator, ServiceOutcome,
+    ServicePlayer, Topology, SIGN_ROUND_BUDGET,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -387,12 +389,19 @@ fn service_phase(ops: usize) -> Vec<JsonRow> {
         dkg_base: 0,
         sign_base,
         max_in_flight: 8,
+        transport: MeshTransport::Threaded,
     };
 
     // Mesh nodes on threads, exactly the daemon's layout.
     let mut threads = Vec::new();
     for id in 1..=n as u32 {
-        let player = ServicePlayer::new(scheme.clone(), &km, id, dkg_metrics.clone());
+        let player = ServicePlayer::new(
+            scheme.clone(),
+            &km,
+            id,
+            dkg_metrics.clone(),
+            TransportStats::default(),
+        );
         let listen = Topology::addr(top.sign_base, id);
         let peers = Topology::peers(top.sign_base, id, n as u32 + 1);
         threads.push(std::thread::spawn(move || {
